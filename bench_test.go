@@ -1,0 +1,118 @@
+package hyperloop
+
+// One benchmark per table/figure of the paper's evaluation. Each iteration
+// regenerates the experiment at Quick scale (deterministic per seed; the
+// iteration index varies the seed). `go run ./cmd/hyperloop-bench -scale
+// full` produces the paper-grade sample counts; these benches exist so
+// `go test -bench=.` exercises every experiment end to end and reports the
+// headline quantities as custom metrics.
+
+import (
+	"testing"
+	"time"
+
+	"hyperloop/internal/experiments"
+	"hyperloop/internal/sim"
+)
+
+// benchExperiment runs one registered experiment per iteration.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Run(id, uint64(i+1), experiments.Quick); err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+	}
+}
+
+func BenchmarkFig2a(b *testing.B)  { benchExperiment(b, "fig2a") }
+func BenchmarkFig2b(b *testing.B)  { benchExperiment(b, "fig2b") }
+func BenchmarkFig8a(b *testing.B)  { benchExperiment(b, "fig8a") }
+func BenchmarkFig8b(b *testing.B)  { benchExperiment(b, "fig8b") }
+func BenchmarkTable2(b *testing.B) { benchExperiment(b, "table2") }
+func BenchmarkFig9(b *testing.B)   { benchExperiment(b, "fig9") }
+func BenchmarkFig10(b *testing.B)  { benchExperiment(b, "fig10") }
+func BenchmarkFig11(b *testing.B)  { benchExperiment(b, "fig11") }
+func BenchmarkFig12(b *testing.B)  { benchExperiment(b, "fig12") }
+func BenchmarkTable3(b *testing.B) { benchExperiment(b, "table3") }
+
+func BenchmarkAblationLoad(b *testing.B)  { benchExperiment(b, "abl-load") }
+func BenchmarkAblationFlush(b *testing.B) { benchExperiment(b, "abl-flush") }
+func BenchmarkAblationDepth(b *testing.B) { benchExperiment(b, "abl-depth") }
+
+// BenchmarkGWritePrimitive measures the core primitive directly: virtual
+// (simulated) latency of a durable 1KB gWRITE over 3 replicas, reported as
+// the custom metric "sim-ns/op" alongside host ns/op.
+func BenchmarkGWritePrimitive(b *testing.B) {
+	cluster, err := NewCluster(ClusterConfig{Seed: 1, Replicas: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	group, err := cluster.NewGroup(1 << 20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var virtual sim.Duration
+	b.ResetTimer()
+	err = cluster.Run(func(f *Fiber) error {
+		start := f.Now()
+		for i := 0; i < b.N; i++ {
+			if err := group.Write(f, (i%32)*4096, 1024, true); err != nil {
+				return err
+			}
+		}
+		virtual = f.Now().Sub(start)
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(virtual)/float64(b.N), "sim-ns/op")
+}
+
+// BenchmarkGCASPrimitive measures virtual gCAS latency.
+func BenchmarkGCASPrimitive(b *testing.B) {
+	cluster, err := NewCluster(ClusterConfig{Seed: 1, Replicas: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	group, err := cluster.NewGroup(1 << 20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var virtual sim.Duration
+	b.ResetTimer()
+	err = cluster.Run(func(f *Fiber) error {
+		start := f.Now()
+		for i := 0; i < b.N; i++ {
+			if _, err := group.CAS(f, 0, uint64(i), uint64(i+1), []bool{true, true, true}); err != nil {
+				return err
+			}
+		}
+		virtual = f.Now().Sub(start)
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(virtual)/float64(b.N), "sim-ns/op")
+}
+
+// BenchmarkSimulatorEventRate measures raw kernel throughput (host events
+// per second) — the simulator's own performance envelope.
+func BenchmarkSimulatorEventRate(b *testing.B) {
+	k := sim.NewKernel(1)
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			k.After(time.Microsecond, tick)
+		}
+	}
+	b.ResetTimer()
+	k.After(time.Microsecond, tick)
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+}

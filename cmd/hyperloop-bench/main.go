@@ -1,0 +1,67 @@
+// Command hyperloop-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	hyperloop-bench -list
+//	hyperloop-bench -exp fig8a
+//	hyperloop-bench -exp all -scale full -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"hyperloop/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "hyperloop-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("hyperloop-bench", flag.ContinueOnError)
+	var (
+		exp   = fs.String("exp", "all", "experiment id (see -list) or 'all'")
+		seed  = fs.Uint64("seed", 1, "simulation seed (equal seeds reproduce runs exactly)")
+		scale = fs.String("scale", "quick", "run size: quick | full (paper-grade sample counts)")
+		list  = fs.Bool("list", false, "list experiments and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, id := range experiments.PaperOrder() {
+			fmt.Printf("  %-10s %s\n", id, experiments.Describe(id))
+		}
+		return nil
+	}
+	var sc experiments.Scale
+	switch *scale {
+	case "quick":
+		sc = experiments.Quick
+	case "full":
+		sc = experiments.Full
+	default:
+		return fmt.Errorf("unknown scale %q (quick|full)", *scale)
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = experiments.PaperOrder()
+	}
+	for _, id := range ids {
+		start := time.Now()
+		report, err := experiments.Run(id, *seed, sc)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		fmt.Println(report)
+		fmt.Printf("(%s regenerated in %v wall time)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

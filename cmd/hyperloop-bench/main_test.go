@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestListFlag(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatalf("-list: %v", err)
+	}
+}
+
+func TestUnknownScale(t *testing.T) {
+	if err := run([]string{"-scale", "huge"}); err == nil {
+		t.Fatal("unknown scale accepted")
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-exp", "fig99"}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	if err := run([]string{"-exp", "table3", "-scale", "quick"}); err != nil {
+		t.Fatalf("table3: %v", err)
+	}
+}

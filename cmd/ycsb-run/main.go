@@ -1,0 +1,201 @@
+// Command ycsb-run drives a YCSB workload against the replicated KV store
+// or document store over a chosen replication backend.
+//
+// Usage:
+//
+//	ycsb-run -db kv -workload A -backend hyperloop -records 200 -ops 2000
+//	ycsb-run -db doc -workload B -backend naive-event -load
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	root "hyperloop"
+	"hyperloop/internal/docstore"
+	"hyperloop/internal/kvstore"
+	"hyperloop/internal/metrics"
+	"hyperloop/internal/sim"
+	"hyperloop/internal/ycsb"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ycsb-run:", err)
+		os.Exit(1)
+	}
+}
+
+// kvDB adapts the KV store to the YCSB driver.
+type kvDB struct{ db *kvstore.DB }
+
+func (a kvDB) Read(f *sim.Fiber, key int) error {
+	if _, ok := a.db.Get([]byte(ycsb.Key(key))); !ok {
+		return fmt.Errorf("missing key %d", key)
+	}
+	return nil
+}
+func (a kvDB) Update(f *sim.Fiber, key int, v []byte) error {
+	return a.db.Put(f, []byte(ycsb.Key(key)), v)
+}
+func (a kvDB) Insert(f *sim.Fiber, key int, v []byte) error {
+	return a.db.Put(f, []byte(ycsb.Key(key)), v)
+}
+func (a kvDB) Scan(f *sim.Fiber, start, count int) error {
+	a.db.Scan([]byte(ycsb.Key(start)), count)
+	return nil
+}
+func (a kvDB) ReadModifyWrite(f *sim.Fiber, key int, v []byte) error {
+	if err := a.Read(f, key); err != nil {
+		return err
+	}
+	return a.Update(f, key, v)
+}
+
+// docDB adapts the document store.
+type docDB struct{ st *docstore.Store }
+
+func (a docDB) Read(f *sim.Fiber, key int) error {
+	_, err := a.st.FindID("usertable", ycsb.Key(key))
+	return err
+}
+func (a docDB) Update(f *sim.Fiber, key int, v []byte) error {
+	return a.st.Update(f, "usertable", ycsb.Key(key), docstore.Doc{"field0": string(v)})
+}
+func (a docDB) Insert(f *sim.Fiber, key int, v []byte) error {
+	return a.st.Insert(f, "usertable", docstore.Doc{"_id": ycsb.Key(key), "field0": string(v)})
+}
+func (a docDB) Scan(f *sim.Fiber, start, count int) error {
+	_, err := a.st.Scan("usertable", ycsb.Key(start), count)
+	return err
+}
+func (a docDB) ReadModifyWrite(f *sim.Fiber, key int, v []byte) error {
+	if err := a.Read(f, key); err != nil {
+		return err
+	}
+	return a.Update(f, key, v)
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ycsb-run", flag.ContinueOnError)
+	var (
+		dbKind   = fs.String("db", "kv", "store under test: kv | doc")
+		workload = fs.String("workload", "A", "YCSB workload: A | B | D | E | F")
+		backend  = fs.String("backend", "hyperloop", "replication backend: hyperloop | naive-event | naive-polling | naive-pinned")
+		records  = fs.Int("records", 200, "preloaded record count")
+		ops      = fs.Int("ops", 2000, "operation count")
+		valSize  = fs.Int("value", 1024, "value size in bytes")
+		seed     = fs.Uint64("seed", 1, "simulation seed")
+		replicas = fs.Int("replicas", 3, "replica chain length")
+		load     = fs.Bool("load", true, "apply multi-tenant CPU load on replicas")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	w, err := ycsb.ByName(*workload)
+	if err != nil {
+		return err
+	}
+	cluster, err := root.NewCluster(root.ClusterConfig{
+		Seed:            *seed,
+		Replicas:        *replicas,
+		MultiTenantLoad: *load,
+		DeviceSize:      64 << 20,
+	})
+	if err != nil {
+		return err
+	}
+
+	var db ycsb.DB
+	switch *dbKind {
+	case "kv":
+		kcfg := kvstore.DefaultConfig()
+		group, err := makeGroup(cluster, *backend, kvstore.MirrorSizeFor(kcfg))
+		if err != nil {
+			return err
+		}
+		kv, err := kvstore.Open(group, kcfg)
+		if err != nil {
+			return err
+		}
+		db = kvDB{db: kv}
+	case "doc":
+		dcfg := docstore.DefaultConfig()
+		group, err := makeGroup(cluster, *backend, docstore.MirrorSizeFor(dcfg))
+		if err != nil {
+			return err
+		}
+		st, err := docstore.Open(group, dcfg)
+		if err != nil {
+			return err
+		}
+		db = docDB{st: st}
+	default:
+		return fmt.Errorf("unknown -db %q (kv|doc)", *dbKind)
+	}
+
+	runner := ycsb.NewRunner(ycsb.RunnerConfig{
+		Workload:    w,
+		RecordCount: *records,
+		OpCount:     *ops,
+		ValueSize:   *valSize,
+		Seed:        *seed,
+	})
+	var result *ycsb.Result
+	err = cluster.Run(func(f *root.Fiber) error {
+		if err := runner.Load(f, db); err != nil {
+			return err
+		}
+		var rerr error
+		result, rerr = runner.Run(f, db)
+		return rerr
+	})
+	if err != nil {
+		return err
+	}
+
+	tbl := metrics.NewTable(
+		fmt.Sprintf("YCSB-%s on %s store, %s backend (%d records, %d ops)",
+			w.Name, *dbKind, *backend, *records, *ops),
+		"operation", "count", "avg", "p95", "p99", "max")
+	for _, op := range []ycsb.OpType{ycsb.OpRead, ycsb.OpUpdate, ycsb.OpInsert, ycsb.OpModify, ycsb.OpScan} {
+		h := result.ByOp[op]
+		if h.Count() == 0 {
+			continue
+		}
+		s := h.Summarize()
+		tbl.AddRow(op.String(), s.Count, s.Mean, s.P95, s.P99, s.Max)
+	}
+	s := result.Overall.Summarize()
+	tbl.AddRow("overall", s.Count, s.Mean, s.P95, s.P99, s.Max)
+	fmt.Println(tbl)
+	if result.Errors > 0 {
+		fmt.Printf("errors: %d\n", result.Errors)
+	}
+	return nil
+}
+
+func makeGroup(c *root.Cluster, backend string, mirror int) (interface {
+	GroupSize() int
+	WriteLocal(off int, data []byte) error
+	ReadLocal(off, n int) ([]byte, error)
+	Write(f *sim.Fiber, off, size int, durable bool) error
+	Memcpy(f *sim.Fiber, src, dst, size int, durable bool) error
+	CAS(f *sim.Fiber, off int, old, new uint64, exec []bool) ([]uint64, error)
+	Flush(f *sim.Fiber, off, size int) error
+}, error) {
+	switch backend {
+	case "hyperloop":
+		return c.NewGroup(mirror)
+	case "naive-event":
+		return c.NewNaiveGroup(mirror, root.NaiveEvent)
+	case "naive-polling":
+		return c.NewNaiveGroup(mirror, root.NaivePolling)
+	case "naive-pinned":
+		return c.NewNaiveGroup(mirror, root.NaivePinned)
+	default:
+		return nil, fmt.Errorf("unknown backend %q", backend)
+	}
+}

@@ -1,0 +1,120 @@
+// Failover example (§5 recovery): a replica dies mid-workload; heartbeats
+// detect it; writes pause; a spare machine catches up from a healthy
+// member; a fresh HyperLoop datapath is established; writes resume.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hyperloop"
+	"hyperloop/internal/chain"
+	"hyperloop/internal/nvm"
+	"hyperloop/internal/sim"
+	"hyperloop/internal/txn"
+	"hyperloop/internal/wal"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	cluster, err := hyperloop.NewCluster(hyperloop.ClusterConfig{Seed: 5, Replicas: 3})
+	if err != nil {
+		return err
+	}
+	const logSize, dataSize = 32 * 1024, 64 * 1024
+	mirror := txn.MirrorSizeFor(logSize, dataSize)
+
+	gcfg := hyperloop.DefaultGroupConfig(mirror)
+	gcfg.OpTimeout = 2 * sim.Millisecond
+	group, err := cluster.NewGroupWithConfig(gcfg)
+	if err != nil {
+		return err
+	}
+	store, err := txn.New(group, txn.Config{LogSize: logSize, DataSize: dataSize})
+	if err != nil {
+		return err
+	}
+
+	// A spare machine stands by.
+	spare, err := cluster.Fabric().AddNIC("spare", nvm.NewDevice("spare", 16<<20))
+	if err != nil {
+		return err
+	}
+
+	replicas := cluster.ReplicaNICs()
+	monitor, err := chain.New(cluster.Kernel(), replicas, chain.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	suspected := sim.NewSignal()
+	monitor.OnSuspect(func(idx int) {
+		fmt.Printf("heartbeat monitor: replica %d suspected after consecutive misses — pausing writes\n", idx)
+		monitor.PauseWrites()
+		suspected.Fire(nil)
+	})
+	monitor.Start()
+
+	return cluster.Run(func(f *hyperloop.Fiber) error {
+		for i := 0; i < 5; i++ {
+			if _, err := store.Append(f, []wal.Entry{
+				{Off: i * 64, Data: []byte(fmt.Sprintf("record-%d", i))},
+			}); err != nil {
+				return err
+			}
+		}
+		if _, err := store.ExecuteAll(f); err != nil {
+			return err
+		}
+		fmt.Println("phase 1: 5 transactions committed on the healthy chain")
+
+		// Replica 1 loses power.
+		replicas[1].SetDown(true)
+		if err := f.Await(suspected); err != nil {
+			return err
+		}
+
+		// Catch-up: ship a healthy member's image to the spare.
+		start := f.Now()
+		src, err := monitor.CatchUp(f, spare, mirror)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("catch-up from replica %d to spare took %v\n", src, f.Now().Sub(start))
+		if err := monitor.Replace(1, spare); err != nil {
+			return err
+		}
+
+		// Re-establish the datapath over the repaired chain.
+		group2, err := cluster.NewGroupOver([]*hyperloop.NIC{replicas[0], spare, replicas[2]}, mirror)
+		if err != nil {
+			return err
+		}
+		store2, err := txn.New(group2, txn.Config{LogSize: logSize, DataSize: dataSize})
+		if err != nil {
+			return err
+		}
+		if _, err := store2.Recover(f); err != nil {
+			return err
+		}
+		monitor.ResumeWrites()
+		fmt.Println("datapath re-established; writes resumed")
+
+		if _, err := store2.Append(f, []wal.Entry{{Off: 1024, Data: []byte("post-failover")}}); err != nil {
+			return err
+		}
+		if _, err := store2.ExecuteAll(f); err != nil {
+			return err
+		}
+		buf := make([]byte, 13)
+		if err := spare.Memory().Read(txn.CtrlSize+logSize+1024, buf); err != nil {
+			return err
+		}
+		fmt.Printf("spare replica data after failover: %q\n", buf)
+		return nil
+	})
+}

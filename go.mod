@@ -1,0 +1,3 @@
+module hyperloop
+
+go 1.22

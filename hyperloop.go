@@ -1,0 +1,228 @@
+// Package hyperloop is a full reproduction of "HyperLoop: Group-Based
+// NIC-Offloading to Accelerate Replicated Transactions in Multi-Tenant
+// Storage Systems" (SIGCOMM 2018) as a deterministic simulation library.
+//
+// Because the paper's artifact requires Mellanox RNICs with the
+// CORE-Direct WAIT verb, a patched libmlx4 and battery-backed DRAM, this
+// library substitutes a verbs-level software RNIC model (see DESIGN.md):
+// queue pairs with binary WQE rings in registered memory, WAIT-gated
+// pre-posted chains, remote work-request manipulation via receive scatter,
+// NVM with explicit flush durability, and a CFS-like multi-tenant CPU
+// scheduler for the baseline's replica handlers.
+//
+// The package is a facade over the building blocks in internal/: it wires
+// a simulated cluster and exposes the replication groups (HyperLoop and
+// Naive-RDMA), the transaction layer, and the two storage applications
+// (a RocksDB-like KV store and a MongoDB-like document store).
+//
+// Quickstart:
+//
+//	c, _ := hyperloop.NewCluster(hyperloop.ClusterConfig{Replicas: 3})
+//	g, _ := c.NewGroup(1 << 20)
+//	c.Run(func(f *hyperloop.Fiber) error {
+//	    g.WriteLocal(0, []byte("hello"))
+//	    return g.Write(f, 0, 5, true) // replicated + durable on 3 replicas
+//	})
+package hyperloop
+
+import (
+	"errors"
+	"fmt"
+
+	"hyperloop/internal/cpusim"
+	hl "hyperloop/internal/hyperloop"
+	"hyperloop/internal/naive"
+	"hyperloop/internal/nvm"
+	"hyperloop/internal/rdma"
+	"hyperloop/internal/sim"
+)
+
+// Re-exported core types so downstream code needs only this package.
+type (
+	// Fiber is a cooperative coroutine driven by the simulation kernel;
+	// blocking group operations take one.
+	Fiber = sim.Fiber
+	// Signal is a one-shot completion notification for async operations.
+	Signal = sim.Signal
+	// Group is a HyperLoop (NIC-offloaded) replication group.
+	Group = hl.Group
+	// NaiveGroup is the CPU-driven Naive-RDMA baseline group.
+	NaiveGroup = naive.Group
+	// NaiveMode selects how baseline replica CPUs pick up completions.
+	NaiveMode = naive.Mode
+	// NIC is a simulated RDMA NIC.
+	NIC = rdma.NIC
+	// Scheduler is a server's CPU scheduler.
+	Scheduler = cpusim.Scheduler
+)
+
+// Baseline replica CPU modes.
+const (
+	NaiveEvent   = naive.ModeEvent
+	NaivePolling = naive.ModePolling
+	NaivePinned  = naive.ModePinned
+)
+
+// ClusterConfig sizes a simulated deployment.
+type ClusterConfig struct {
+	// Seed drives all randomness; equal seeds reproduce runs exactly.
+	Seed uint64
+	// Replicas is the chain length (default 3).
+	Replicas int
+	// CoresPerServer sizes each storage server's CPU (default 16).
+	CoresPerServer int
+	// DeviceSize is each machine's NVM capacity (default 16 MiB).
+	DeviceSize int
+	// MultiTenantLoad co-locates ~10 bursty tenant processes per core
+	// plus stress hogs on every storage server, reproducing the paper's
+	// environment. Only the Naive backend is affected — that is the point.
+	MultiTenantLoad bool
+}
+
+// Cluster is a simulated deployment: one client machine and N storage
+// servers connected by an RDMA fabric.
+type Cluster struct {
+	kernel *sim.Kernel
+	fabric *rdma.Fabric
+	client *rdma.NIC
+	nics   []*rdma.NIC
+	scheds []*cpusim.Scheduler
+	cfg    ClusterConfig
+}
+
+// NewCluster builds the deployment.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 3
+	}
+	if cfg.CoresPerServer <= 0 {
+		cfg.CoresPerServer = 16
+	}
+	if cfg.DeviceSize <= 0 {
+		cfg.DeviceSize = 16 << 20
+	}
+	k := sim.NewKernel(cfg.Seed)
+	fab := rdma.NewFabric(k, rdma.DefaultConfig())
+	client, err := fab.AddNIC("client", nvm.NewDevice("client", cfg.DeviceSize))
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{kernel: k, fabric: fab, client: client, cfg: cfg}
+	for i := 0; i < cfg.Replicas; i++ {
+		host := fmt.Sprintf("server-%d", i)
+		nic, err := fab.AddNIC(host, nvm.NewDevice(host, cfg.DeviceSize))
+		if err != nil {
+			return nil, err
+		}
+		sched, err := cpusim.New(k, cpusim.DefaultConfig(cfg.CoresPerServer))
+		if err != nil {
+			return nil, err
+		}
+		if cfg.MultiTenantLoad {
+			sched.AddHogs(cfg.CoresPerServer / 2)
+			sched.AddNoise(10*cfg.CoresPerServer, 300*sim.Microsecond, 2700*sim.Microsecond)
+			sched.AddStorms(2*cfg.CoresPerServer, 200*sim.Millisecond, 4*sim.Millisecond)
+		}
+		c.nics = append(c.nics, nic)
+		c.scheds = append(c.scheds, sched)
+	}
+	return c, nil
+}
+
+// Kernel exposes the simulation kernel (timers, fibers, virtual clock).
+func (c *Cluster) Kernel() *sim.Kernel { return c.kernel }
+
+// Fabric exposes the RDMA fabric.
+func (c *Cluster) Fabric() *rdma.Fabric { return c.fabric }
+
+// ClientNIC returns the client machine's NIC.
+func (c *Cluster) ClientNIC() *rdma.NIC { return c.client }
+
+// ReplicaNICs returns the storage servers' NICs in chain order.
+func (c *Cluster) ReplicaNICs() []*rdma.NIC {
+	out := make([]*rdma.NIC, len(c.nics))
+	copy(out, c.nics)
+	return out
+}
+
+// Schedulers returns each storage server's CPU scheduler.
+func (c *Cluster) Schedulers() []*cpusim.Scheduler {
+	out := make([]*cpusim.Scheduler, len(c.scheds))
+	copy(out, c.scheds)
+	return out
+}
+
+// NewGroup builds a HyperLoop (NIC-offloaded) replication group whose
+// mirrored region spans mirrorSize bytes on every member.
+func (c *Cluster) NewGroup(mirrorSize int) (*Group, error) {
+	return hl.Setup(c.fabric, c.client, c.nics, hl.DefaultConfig(mirrorSize))
+}
+
+// NewGroupWithConfig builds a HyperLoop group with full control.
+func (c *Cluster) NewGroupWithConfig(cfg hl.Config) (*Group, error) {
+	return hl.Setup(c.fabric, c.client, c.nics, cfg)
+}
+
+// NewNaiveGroup builds the Naive-RDMA baseline group: the same chain, but
+// replica CPUs on the critical path in the given mode. Under
+// MultiTenantLoad the handlers also carry the per-tenant wakeup-placement
+// penalty (DESIGN.md, "multi-tenant latency model").
+func (c *Cluster) NewNaiveGroup(mirrorSize int, mode NaiveMode) (*NaiveGroup, error) {
+	cfg := naive.DefaultConfig(mirrorSize)
+	cfg.Mode = mode
+	if c.cfg.MultiTenantLoad {
+		cfg.WakePenalty = 3 * sim.Millisecond
+		cfg.WakePenaltyProb = 0.015
+	}
+	return naive.Setup(c.fabric, c.client, c.nics, c.scheds, cfg)
+}
+
+// Run spawns fn as a fiber, drives the simulation until fn returns (or the
+// horizon passes), and returns fn's error. It is the main entry point for
+// programs using the library.
+func (c *Cluster) Run(fn func(f *Fiber) error) error {
+	var fnErr error
+	done := false
+	c.kernel.Spawn("main", func(f *sim.Fiber) {
+		fnErr = fn(f)
+		done = true
+		c.kernel.StopRun()
+	})
+	err := c.kernel.RunUntil(c.kernel.Now().Add(3600 * sim.Second))
+	if errors.Is(err, sim.ErrStopped) {
+		err = nil
+	}
+	if err != nil {
+		return err
+	}
+	if fnErr != nil {
+		return fnErr
+	}
+	if !done {
+		return fmt.Errorf("hyperloop: run did not complete within the simulation horizon")
+	}
+	return nil
+}
+
+// HyperLoopConfig re-exports the group configuration.
+type HyperLoopConfig = hl.Config
+
+// DefaultGroupConfig returns the default group configuration for a mirror
+// of the given size.
+func DefaultGroupConfig(mirrorSize int) hl.Config { return hl.DefaultConfig(mirrorSize) }
+
+// NewGroupOver builds a HyperLoop group over an explicit replica chain —
+// for example after failover replaced a member (see examples/failover).
+func (c *Cluster) NewGroupOver(replicas []*rdma.NIC, mirrorSize int) (*Group, error) {
+	return hl.Setup(c.fabric, c.client, replicas, hl.DefaultConfig(mirrorSize))
+}
+
+// FanoutGroup is the §7 extension: a primary's NIC coordinates all backups
+// in parallel instead of a chain.
+type FanoutGroup = hl.FanoutGroup
+
+// NewFanoutGroup builds a fan-out replication group over the cluster's
+// servers (server 0 is the primary).
+func (c *Cluster) NewFanoutGroup(mirrorSize int) (*FanoutGroup, error) {
+	return hl.SetupFanout(c.fabric, c.client, c.nics, hl.DefaultConfig(mirrorSize))
+}

@@ -1,0 +1,226 @@
+// Package chain provides the replication control path the datapath
+// packages deliberately leave out (§5): heartbeat-based failure detection
+// ("a configurable number of consecutive missing heartbeats is considered
+// a data path failure"), pausing writes, catch-up state transfer for a
+// replacement replica, and re-establishing a fresh HyperLoop datapath.
+//
+// HyperLoop accelerates only the data path; when membership changes, the
+// application's recovery protocol takes over — this package is that
+// protocol's skeleton.
+package chain
+
+import (
+	"errors"
+	"fmt"
+
+	"hyperloop/internal/rdma"
+	"hyperloop/internal/sim"
+)
+
+// Errors returned by the manager.
+var (
+	ErrStopped    = errors.New("chain: monitor stopped")
+	ErrNoHealthy  = errors.New("chain: no healthy source for catch-up")
+	ErrBadMember  = errors.New("chain: bad member index")
+	ErrNotStarted = errors.New("chain: monitor not started")
+)
+
+// Config parameterizes failure detection.
+type Config struct {
+	// HeartbeatEvery is the beat interval.
+	HeartbeatEvery sim.Duration
+	// MissedThreshold is how many consecutive missed beats mark a member
+	// suspected (the paper's "configurable number of consecutive missing
+	// heartbeats").
+	MissedThreshold int
+	// CatchUpBandwidthBps bounds state-transfer speed during catch-up.
+	CatchUpBandwidthBps float64
+}
+
+// DefaultConfig returns production-ish settings scaled to the simulation.
+func DefaultConfig() Config {
+	return Config{
+		HeartbeatEvery:      5 * sim.Millisecond,
+		MissedThreshold:     3,
+		CatchUpBandwidthBps: 56e9,
+	}
+}
+
+// MemberState describes a member's health.
+type MemberState int
+
+// Member states.
+const (
+	StateHealthy MemberState = iota + 1
+	StateSuspected
+)
+
+// String returns the state name.
+func (s MemberState) String() string {
+	if s == StateHealthy {
+		return "healthy"
+	}
+	return "suspected"
+}
+
+// member tracks one replica's heartbeat state.
+type member struct {
+	nic    *rdma.NIC
+	missed int
+	state  MemberState
+}
+
+// Manager monitors a replica set and coordinates recovery.
+type Manager struct {
+	k       *sim.Kernel
+	cfg     Config
+	members []*member
+
+	onSuspect func(idx int)
+	running   bool
+	stop      *sim.Timer
+	paused    bool
+
+	beats     int64
+	suspicion int64
+}
+
+// New builds a manager over the replicas' NICs.
+func New(k *sim.Kernel, nics []*rdma.NIC, cfg Config) (*Manager, error) {
+	if len(nics) == 0 {
+		return nil, fmt.Errorf("%w: no members", ErrBadMember)
+	}
+	if cfg.HeartbeatEvery <= 0 {
+		cfg.HeartbeatEvery = DefaultConfig().HeartbeatEvery
+	}
+	if cfg.MissedThreshold <= 0 {
+		cfg.MissedThreshold = DefaultConfig().MissedThreshold
+	}
+	if cfg.CatchUpBandwidthBps <= 0 {
+		cfg.CatchUpBandwidthBps = DefaultConfig().CatchUpBandwidthBps
+	}
+	m := &Manager{k: k, cfg: cfg}
+	for _, nic := range nics {
+		m.members = append(m.members, &member{nic: nic, state: StateHealthy})
+	}
+	return m, nil
+}
+
+// OnSuspect installs the callback fired once per transition to suspected.
+func (m *Manager) OnSuspect(fn func(idx int)) { m.onSuspect = fn }
+
+// Start begins heartbeat monitoring.
+func (m *Manager) Start() {
+	if m.running {
+		return
+	}
+	m.running = true
+	m.tick()
+}
+
+// Stop halts monitoring.
+func (m *Manager) Stop() {
+	m.running = false
+	if m.stop != nil {
+		m.stop.Stop()
+		m.stop = nil
+	}
+}
+
+func (m *Manager) tick() {
+	if !m.running {
+		return
+	}
+	m.beats++
+	for i, mem := range m.members {
+		if mem.nic.Down() {
+			mem.missed++
+		} else {
+			mem.missed = 0
+			if mem.state == StateSuspected {
+				mem.state = StateHealthy
+			}
+		}
+		if mem.missed >= m.cfg.MissedThreshold && mem.state != StateSuspected {
+			mem.state = StateSuspected
+			m.suspicion++
+			if m.onSuspect != nil {
+				m.onSuspect(i)
+			}
+		}
+	}
+	m.stop = m.k.After(m.cfg.HeartbeatEvery, m.tick)
+}
+
+// State returns member i's health.
+func (m *Manager) State(i int) (MemberState, error) {
+	if i < 0 || i >= len(m.members) {
+		return 0, fmt.Errorf("%w: %d", ErrBadMember, i)
+	}
+	return m.members[i].state, nil
+}
+
+// Suspected lists the indices of suspected members.
+func (m *Manager) Suspected() []int {
+	var out []int
+	for i, mem := range m.members {
+		if mem.state == StateSuspected {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Healthy returns the index of some healthy member, or -1.
+func (m *Manager) Healthy() int {
+	for i, mem := range m.members {
+		if mem.state == StateHealthy && !mem.nic.Down() {
+			return i
+		}
+	}
+	return -1
+}
+
+// PauseWrites marks the chain write-paused during catch-up (§5.1: "writes
+// are paused for a short duration of catch-up phase"). The application
+// checks Paused before issuing writes.
+func (m *Manager) PauseWrites()  { m.paused = true }
+func (m *Manager) ResumeWrites() { m.paused = false }
+
+// Paused reports whether writes are paused.
+func (m *Manager) Paused() bool { return m.paused }
+
+// Replace swaps member idx's NIC for a replacement (a fresh machine) and
+// resets its health.
+func (m *Manager) Replace(idx int, nic *rdma.NIC) error {
+	if idx < 0 || idx >= len(m.members) {
+		return fmt.Errorf("%w: %d", ErrBadMember, idx)
+	}
+	m.members[idx] = &member{nic: nic, state: StateHealthy}
+	return nil
+}
+
+// CatchUp copies the first mirrorSize bytes of a healthy member's durable
+// state onto the replacement device and flushes it, charging transfer time
+// at the configured bandwidth. It returns the source member used.
+func (m *Manager) CatchUp(f *sim.Fiber, to *rdma.NIC, mirrorSize int) (int, error) {
+	src := m.Healthy()
+	if src < 0 {
+		return -1, ErrNoHealthy
+	}
+	img := make([]byte, mirrorSize)
+	if err := m.members[src].nic.Memory().Read(0, img); err != nil {
+		return src, err
+	}
+	// Transfer time: full image over the wire.
+	sec := float64(mirrorSize) * 8 / m.cfg.CatchUpBandwidthBps
+	f.Sleep(sim.Duration(sec * 1e9))
+	if err := to.Memory().Write(0, img); err != nil {
+		return src, err
+	}
+	to.Memory().FlushAll()
+	return src, nil
+}
+
+// Stats reports heartbeat rounds and suspicion transitions.
+func (m *Manager) Stats() (beats, suspicions int64) { return m.beats, m.suspicion }

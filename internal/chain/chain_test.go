@@ -1,0 +1,319 @@
+package chain
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"hyperloop/internal/hyperloop"
+	"hyperloop/internal/nvm"
+	"hyperloop/internal/rdma"
+	"hyperloop/internal/sim"
+	"hyperloop/internal/txn"
+	"hyperloop/internal/wal"
+)
+
+const devSize = 1 << 20
+
+func buildNICs(t *testing.T, k *sim.Kernel, n int) (*rdma.Fabric, []*rdma.NIC) {
+	t.Helper()
+	fab := rdma.NewFabric(k, rdma.DefaultConfig())
+	var nics []*rdma.NIC
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("m%d", i)
+		nic, err := fab.AddNIC(name, nvm.NewDevice(name, devSize))
+		if err != nil {
+			t.Fatal(err)
+		}
+		nics = append(nics, nic)
+	}
+	return fab, nics
+}
+
+func TestValidation(t *testing.T) {
+	k := sim.NewKernel(1)
+	if _, err := New(k, nil, DefaultConfig()); !errors.Is(err, ErrBadMember) {
+		t.Fatalf("err = %v", err)
+	}
+	_, nics := buildNICs(t, k, 1)
+	m, err := New(k, nics, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.State(5); !errors.Is(err, ErrBadMember) {
+		t.Fatalf("state err = %v", err)
+	}
+	if err := m.Replace(7, nics[0]); !errors.Is(err, ErrBadMember) {
+		t.Fatalf("replace err = %v", err)
+	}
+}
+
+func TestFailureDetectionAfterConsecutiveMisses(t *testing.T) {
+	k := sim.NewKernel(1)
+	_, nics := buildNICs(t, k, 3)
+	cfg := DefaultConfig()
+	m, err := New(k, nics, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var suspected []int
+	m.OnSuspect(func(idx int) { suspected = append(suspected, idx) })
+	m.Start()
+
+	// Fail member 1 at t=20ms; suspicion requires 3 consecutive misses.
+	k.At(sim.Time(20*sim.Millisecond), func() { nics[1].SetDown(true) })
+	if err := k.RunUntil(sim.Time(100 * sim.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	if len(suspected) != 1 || suspected[0] != 1 {
+		t.Fatalf("suspected = %v, want [1]", suspected)
+	}
+	st, _ := m.State(1)
+	if st != StateSuspected {
+		t.Fatalf("state = %v", st)
+	}
+	if got := m.Suspected(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("Suspected() = %v", got)
+	}
+	if h := m.Healthy(); h != 0 && h != 2 {
+		t.Fatalf("healthy = %d", h)
+	}
+	beats, susp := m.Stats()
+	if beats == 0 || susp != 1 {
+		t.Fatalf("stats = %d, %d", beats, susp)
+	}
+	m.Stop()
+}
+
+func TestBriefBlipDoesNotTriggerSuspicion(t *testing.T) {
+	k := sim.NewKernel(1)
+	_, nics := buildNICs(t, k, 2)
+	m, err := New(k, nics, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired := false
+	m.OnSuspect(func(int) { fired = true })
+	m.Start()
+	// Down for just one heartbeat interval — below the 3-miss threshold.
+	k.At(sim.Time(20*sim.Millisecond), func() { nics[0].SetDown(true) })
+	k.At(sim.Time(27*sim.Millisecond), func() { nics[0].SetDown(false) })
+	if err := k.RunUntil(sim.Time(100 * sim.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Fatal("transient blip marked suspected")
+	}
+	m.Stop()
+}
+
+func TestRecoveryAfterSuspicionClears(t *testing.T) {
+	k := sim.NewKernel(1)
+	_, nics := buildNICs(t, k, 2)
+	m, err := New(k, nics, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Start()
+	k.At(sim.Time(10*sim.Millisecond), func() { nics[0].SetDown(true) })
+	k.At(sim.Time(60*sim.Millisecond), func() { nics[0].SetDown(false) })
+	if err := k.RunUntil(sim.Time(120 * sim.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := m.State(0)
+	if st != StateHealthy {
+		t.Fatalf("member did not return to healthy: %v", st)
+	}
+	m.Stop()
+}
+
+func TestPauseResumeWrites(t *testing.T) {
+	k := sim.NewKernel(1)
+	_, nics := buildNICs(t, k, 1)
+	m, _ := New(k, nics, DefaultConfig())
+	if m.Paused() {
+		t.Fatal("paused initially")
+	}
+	m.PauseWrites()
+	if !m.Paused() {
+		t.Fatal("pause lost")
+	}
+	m.ResumeWrites()
+	if m.Paused() {
+		t.Fatal("resume lost")
+	}
+}
+
+func TestCatchUpCopiesDurableState(t *testing.T) {
+	k := sim.NewKernel(1)
+	_, nics := buildNICs(t, k, 3)
+	m, err := New(k, nics, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("replica state to transfer")
+	_ = nics[0].Memory().Write(0, payload)
+	nics[0].Memory().FlushAll()
+
+	var src int
+	var catchErr error
+	var took sim.Duration
+	k.Spawn("recovery", func(f *sim.Fiber) {
+		start := f.Now()
+		src, catchErr = m.CatchUp(f, nics[2], 64*1024)
+		took = f.Now().Sub(start)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if catchErr != nil {
+		t.Fatalf("catch up: %v", catchErr)
+	}
+	if src != 0 {
+		t.Fatalf("source = %d", src)
+	}
+	if took <= 0 {
+		t.Fatal("catch-up transfer took no time")
+	}
+	got := make([]byte, len(payload))
+	_ = nics[2].Memory().ReadDurable(0, got)
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("replacement durable state = %q", got)
+	}
+}
+
+func TestCatchUpNeedsHealthySource(t *testing.T) {
+	k := sim.NewKernel(1)
+	_, nics := buildNICs(t, k, 2)
+	m, _ := New(k, nics[:1], DefaultConfig())
+	nics[0].SetDown(true)
+	var err error
+	k.Spawn("recovery", func(f *sim.Fiber) {
+		_, err = m.CatchUp(f, nics[1], 1024)
+	})
+	if kerr := k.Run(); kerr != nil {
+		t.Fatal(kerr)
+	}
+	if !errors.Is(err, ErrNoHealthy) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestEndToEndFailover exercises the full §5 recovery flow: a replica
+// dies mid-workload; the monitor detects it; writes pause; a replacement
+// catches up from a healthy member; a fresh HyperLoop datapath is
+// established; writes resume and the data survives.
+func TestEndToEndFailover(t *testing.T) {
+	k := sim.NewKernel(77)
+	fab, nics := buildNICs(t, k, 5) // client, r0, r1, r2, spare
+	client, r0, r1, r2, spare := nics[0], nics[1], nics[2], nics[3], nics[4]
+
+	const mirror = 256 * 1024
+	gcfg := hyperloop.DefaultConfig(mirror)
+	gcfg.OpTimeout = 2 * sim.Millisecond
+	g, err := hyperloop.Setup(fab, client, []*rdma.NIC{r0, r1, r2}, gcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := txn.New(g, txn.Config{LogSize: 32 * 1024, DataSize: 64 * 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon, err := New(k, []*rdma.NIC{r0, r1, r2}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	suspectCh := sim.NewSignal()
+	var failedIdx int
+	mon.OnSuspect(func(idx int) {
+		failedIdx = idx
+		mon.PauseWrites()
+		suspectCh.Fire(nil)
+	})
+	mon.Start()
+
+	var phase2Data = []byte("written after failover")
+	k.Spawn("workload", func(f *sim.Fiber) {
+		defer k.StopRun()
+		// Phase 1: normal writes.
+		for i := 0; i < 5; i++ {
+			if _, err := st.Append(f, []wal.Entry{{Off: i * 64, Data: []byte(fmt.Sprintf("pre-%d", i))}}); err != nil {
+				t.Errorf("phase1 append %d: %v", i, err)
+				return
+			}
+		}
+		if _, err := st.ExecuteAll(f); err != nil {
+			t.Errorf("phase1 execute: %v", err)
+			return
+		}
+
+		// Kill replica 1 and wait for detection.
+		r1.SetDown(true)
+		if err := f.Await(suspectCh); err != nil {
+			t.Errorf("await suspicion: %v", err)
+			return
+		}
+		if failedIdx != 1 {
+			t.Errorf("suspected %d, want 1", failedIdx)
+			return
+		}
+		if !mon.Paused() {
+			t.Error("writes not paused on failure")
+			return
+		}
+
+		// Catch-up: transfer a healthy member's state to the spare.
+		if _, err := mon.CatchUp(f, spare, mirror); err != nil {
+			t.Errorf("catch up: %v", err)
+			return
+		}
+		if err := mon.Replace(1, spare); err != nil {
+			t.Errorf("replace: %v", err)
+			return
+		}
+
+		// Re-establish the datapath: a fresh group over the new chain.
+		g2, err := hyperloop.Setup(fab, client, []*rdma.NIC{r0, spare, r2}, hyperloop.DefaultConfig(mirror))
+		if err != nil {
+			t.Errorf("re-setup: %v", err)
+			return
+		}
+		st2, err := txn.New(g2, txn.Config{LogSize: 32 * 1024, DataSize: 64 * 1024})
+		if err != nil {
+			t.Errorf("re-txn: %v", err)
+			return
+		}
+		if _, err := st2.Recover(f); err != nil {
+			t.Errorf("recover on new chain: %v", err)
+			return
+		}
+		mon.ResumeWrites()
+
+		// Phase 2: writes flow on the new chain.
+		if _, err := st2.Append(f, []wal.Entry{{Off: 1024, Data: phase2Data}}); err != nil {
+			t.Errorf("phase2 append: %v", err)
+			return
+		}
+		if _, err := st2.ExecuteAll(f); err != nil {
+			t.Errorf("phase2 execute: %v", err)
+		}
+	})
+	if err := k.RunUntil(sim.Time(5 * sim.Second)); err != nil && !errors.Is(err, sim.ErrStopped) {
+		t.Fatal(err)
+	}
+
+	// The spare must hold both the pre-failure data (via catch-up) and the
+	// post-failover write (via the new chain).
+	dataOff := txn.CtrlSize + 32*1024
+	img := make([]byte, 16)
+	_ = spare.Memory().Read(dataOff, img[:5])
+	if string(img[:5]) != "pre-0" {
+		t.Fatalf("spare missing caught-up data: %q", img[:5])
+	}
+	buf := make([]byte, len(phase2Data))
+	_ = spare.Memory().Read(dataOff+1024, buf)
+	if !bytes.Equal(buf, phase2Data) {
+		t.Fatalf("spare missing post-failover data: %q", buf)
+	}
+}

@@ -1,0 +1,449 @@
+// Package cpusim models a multi-tenant server's CPU scheduler.
+//
+// The HyperLoop paper's root-cause analysis (§2.2) is that replica
+// processes in multi-tenant storage servers suffer scheduling delay and
+// context switches because 100s of tenant processes share a few cores.
+// This package reproduces that mechanism with a CFS-like scheduler: a
+// global run queue ordered by virtual runtime, minimum-granularity time
+// slices, wakeup placement, and an explicit context-switch cost. Replica
+// handlers in the Naive-RDMA baseline run as processes here; HyperLoop's
+// NIC datapath never enters this scheduler — which is the whole point.
+package cpusim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"hyperloop/internal/sim"
+)
+
+// Config parameterizes the scheduler.
+type Config struct {
+	// Cores is the number of CPU cores.
+	Cores int
+	// CtxSwitch is the direct cost of switching a core between processes.
+	CtxSwitch sim.Duration
+	// MinGranularity is the shortest time slice (CFS sched_min_granularity).
+	MinGranularity sim.Duration
+	// TargetLatency is the scheduling period target (CFS sched_latency).
+	TargetLatency sim.Duration
+	// PollInterval is the event pickup delay for pinned polling processes.
+	PollInterval sim.Duration
+	// TickQuantum models timer-tick-granularity non-preemption (HZ):
+	// once dispatched, CPU-bound work may hold a core for up to a tick
+	// even when the fair-share slice is shorter. Woken interactive
+	// processes therefore wait for a running batch task's tick to end —
+	// the dominant source of multi-tenant tail latency (§2.2).
+	TickQuantum sim.Duration
+}
+
+// DefaultConfig returns Linux-like defaults (DESIGN.md calibration).
+func DefaultConfig(cores int) Config {
+	return Config{
+		Cores:          cores,
+		CtxSwitch:      5 * sim.Microsecond,
+		MinGranularity: 750 * sim.Microsecond,
+		TargetLatency:  6 * sim.Millisecond,
+		PollInterval:   1 * sim.Microsecond,
+		TickQuantum:    4 * sim.Millisecond, // HZ=250, kernel 3.13 era
+	}
+}
+
+// workItem is a unit of CPU work; fn (optional) runs when the item's CPU
+// time has been fully consumed.
+type workItem struct {
+	cpu sim.Duration
+	fn  func()
+}
+
+// Proc is a schedulable process.
+type Proc struct {
+	name  string
+	s     *Scheduler
+	seq   uint64
+	index int // heap index; -1 when not queued
+
+	vruntime  sim.Duration
+	queue     []workItem
+	running   bool
+	pinned    bool
+	busyUntil sim.Time            // pinned pollers serialize their dedicated core
+	refill    func() sim.Duration // auto work for hogs/pollers; nil otherwise
+
+	wakePenalty     sim.Duration
+	wakePenaltyProb float64
+
+	totalCPU sim.Duration
+	waits    int64
+	waitTime sim.Duration
+	wokeAt   sim.Time
+}
+
+// SetWakePenalty models hierarchical (per-tenant cgroup share) fairness:
+// with probability prob, a woken process of a heavily co-located tenant is
+// placed up to max behind the run-queue head instead of receiving the
+// machine-wide sleeper bonus (its tenant group recently used its share).
+// With an empty queue this has no effect; under load it makes the process
+// wait behind a fair slice of the backlog — the multi-tenant scheduling
+// penalty of §2.2.
+func (p *Proc) SetWakePenalty(prob float64, max sim.Duration) {
+	p.wakePenaltyProb = prob
+	p.wakePenalty = max
+}
+
+// Name returns the process name.
+func (p *Proc) Name() string { return p.name }
+
+// TotalCPU returns the CPU time this process has consumed.
+func (p *Proc) TotalCPU() sim.Duration { return p.totalCPU }
+
+// MeanWait returns the average runnable→running delay observed.
+func (p *Proc) MeanWait() sim.Duration {
+	if p.waits == 0 {
+		return 0
+	}
+	return p.waitTime / sim.Duration(p.waits)
+}
+
+type procHeap []*Proc
+
+func (h procHeap) Len() int { return len(h) }
+func (h procHeap) Less(i, j int) bool {
+	if h[i].vruntime != h[j].vruntime {
+		return h[i].vruntime < h[j].vruntime
+	}
+	return h[i].seq < h[j].seq
+}
+func (h procHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *procHeap) Push(x any) {
+	p, ok := x.(*Proc)
+	if !ok {
+		return
+	}
+	p.index = len(*h)
+	*h = append(*h, p)
+}
+func (h *procHeap) Pop() any {
+	old := *h
+	n := len(old)
+	p := old[n-1]
+	old[n-1] = nil
+	p.index = -1
+	*h = old[:n-1]
+	return p
+}
+
+type core struct {
+	id   int
+	cur  *Proc
+	last *Proc
+	busy sim.Duration
+}
+
+// Scheduler is the CFS-like multi-core scheduler.
+type Scheduler struct {
+	k     *sim.Kernel
+	cfg   Config
+	rng   *sim.RNG
+	cores []*core
+	runq  procHeap
+	seq   uint64
+
+	clockV       sim.Duration // monotone floor for wakeup placement
+	ctxSwitches  int64
+	started      sim.Time
+	pinnedCores  int
+	dispatchPend bool
+}
+
+// New creates a scheduler driven by kernel k.
+func New(k *sim.Kernel, cfg Config) (*Scheduler, error) {
+	if cfg.Cores <= 0 {
+		return nil, fmt.Errorf("cpusim: need at least 1 core, got %d", cfg.Cores)
+	}
+	if cfg.MinGranularity <= 0 || cfg.TargetLatency <= 0 {
+		return nil, fmt.Errorf("cpusim: granularity and target latency must be positive")
+	}
+	s := &Scheduler{
+		k:       k,
+		cfg:     cfg,
+		rng:     k.RNG().Fork(),
+		started: k.Now(),
+	}
+	for i := 0; i < cfg.Cores; i++ {
+		s.cores = append(s.cores, &core{id: i})
+	}
+	return s, nil
+}
+
+// NewProc registers a schedulable process.
+func (s *Scheduler) NewProc(name string) *Proc {
+	s.seq++
+	return &Proc{name: name, s: s, seq: s.seq, index: -1, vruntime: s.clockV}
+}
+
+// Cores returns the configured core count.
+func (s *Scheduler) Cores() int { return s.cfg.Cores }
+
+// ContextSwitches returns the cumulative context-switch count.
+func (s *Scheduler) ContextSwitches() int64 { return s.ctxSwitches }
+
+// RunnableCount returns the number of queued (not running) processes.
+func (s *Scheduler) RunnableCount() int { return len(s.runq) }
+
+// Utilization returns the busy fraction of unpinned cores since creation;
+// pinned (polling) cores are reported separately as always-busy.
+func (s *Scheduler) Utilization() float64 {
+	elapsed := s.k.Now().Sub(s.started)
+	if elapsed <= 0 {
+		return 0
+	}
+	var busy sim.Duration
+	n := 0
+	for _, c := range s.cores {
+		busy += c.busy
+		n++
+	}
+	return float64(busy) / (float64(elapsed) * float64(n))
+}
+
+// Submit queues cpu time of work for p; fn (may be nil) runs once the work
+// has been executed on a core. If p was sleeping it becomes runnable.
+func (p *Proc) Submit(cpu sim.Duration, fn func()) {
+	if cpu < 0 {
+		cpu = 0
+	}
+	if p.pinned {
+		// A pinned poller picks the event up within a poll interval and
+		// handles it on its dedicated core — serially: the core is a real
+		// resource even when dedicated.
+		start := p.s.k.Now().Add(p.s.cfg.PollInterval)
+		if p.busyUntil > start {
+			start = p.busyUntil
+		}
+		done := start.Add(cpu)
+		p.busyUntil = done
+		p.s.k.At(done, func() {
+			p.totalCPU += cpu
+			if fn != nil {
+				fn()
+			}
+		})
+		return
+	}
+	p.queue = append(p.queue, workItem{cpu: cpu, fn: fn})
+	p.s.wake(p)
+}
+
+// SetRefill installs an auto-refill source: when the queue drains the
+// process immediately gains another chunk of CPU work (a hog or poller).
+func (p *Proc) SetRefill(chunk func() sim.Duration) {
+	p.refill = chunk
+	p.s.wake(p)
+}
+
+// Pin dedicates a core to p (busy polling). The pinned core leaves the
+// shared pool; submitted work is handled within a poll interval.
+func (p *Proc) Pin() {
+	p.pinned = true
+	p.s.pinnedCores++
+}
+
+// Pinned reports whether the process busy-polls on a dedicated core.
+func (p *Proc) Pinned() bool { return p.pinned }
+
+// pendingCPU returns queued CPU work, pulling from refill if empty.
+func (p *Proc) pendingCPU() sim.Duration {
+	if len(p.queue) == 0 && p.refill != nil {
+		p.queue = append(p.queue, workItem{cpu: p.refill()})
+	}
+	var d sim.Duration
+	for _, w := range p.queue {
+		d += w.cpu
+	}
+	return d
+}
+
+// wake makes p runnable with CFS-style placement: a sleeper resumes near
+// the front (bounded bonus) so interactive work preempts batch hogs soon,
+// but cannot starve them.
+func (s *Scheduler) wake(p *Proc) {
+	if p.running || p.index >= 0 || p.pinned {
+		return
+	}
+	if p.pendingCPU() <= 0 {
+		return
+	}
+	min := p.vruntime
+	floor := s.clockV - s.cfg.TargetLatency/2
+	if p.wakePenalty > 0 && s.rng.Bernoulli(p.wakePenaltyProb) {
+		floor = s.clockV + sim.Duration(s.rng.Int63n(int64(p.wakePenalty)))
+	}
+	if floor > min {
+		min = floor
+	}
+	p.vruntime = min
+	p.wokeAt = s.k.Now()
+	heap.Push(&s.runq, p)
+	s.scheduleDispatch()
+}
+
+func (s *Scheduler) scheduleDispatch() {
+	if s.dispatchPend {
+		return
+	}
+	s.dispatchPend = true
+	s.k.After(0, func() {
+		s.dispatchPend = false
+		s.dispatch()
+	})
+}
+
+// slice returns the per-dispatch time slice under current load.
+func (s *Scheduler) slice() sim.Duration {
+	nr := len(s.runq)
+	for _, c := range s.cores {
+		if c.cur != nil {
+			nr++
+		}
+	}
+	if nr == 0 {
+		nr = 1
+	}
+	d := s.cfg.TargetLatency * sim.Duration(s.cfg.Cores) / sim.Duration(nr)
+	if d < s.cfg.MinGranularity {
+		d = s.cfg.MinGranularity
+	}
+	return d
+}
+
+func (s *Scheduler) dispatch() {
+	for _, c := range s.cores {
+		if c.cur != nil || len(s.runq) == 0 {
+			continue
+		}
+		p, ok := heap.Pop(&s.runq).(*Proc)
+		if !ok {
+			continue
+		}
+		s.startOn(c, p)
+	}
+}
+
+func (s *Scheduler) startOn(c *core, p *Proc) {
+	c.cur = p
+	p.running = true
+	p.waits++
+	p.waitTime += s.k.Now().Sub(p.wokeAt)
+
+	var ctx sim.Duration
+	if c.last != p {
+		ctx = s.cfg.CtxSwitch
+		s.ctxSwitches++
+	}
+	limit := s.slice()
+	if limit < s.cfg.TickQuantum {
+		limit = s.cfg.TickQuantum
+	}
+	run := p.pendingCPU()
+	if run > limit {
+		run = limit
+	}
+	total := ctx + run
+	c.busy += total
+	s.k.After(total, func() { s.finishSlice(c, p, run) })
+}
+
+func (s *Scheduler) finishSlice(c *core, p *Proc, ran sim.Duration) {
+	p.vruntime += ran
+	p.totalCPU += ran
+	p.running = false
+	c.cur = nil
+	c.last = p
+	if p.vruntime-s.cfg.TargetLatency > s.clockV {
+		s.clockV = p.vruntime - s.cfg.TargetLatency
+	}
+
+	// Consume work items covered by this slice; collect their callbacks.
+	var done []func()
+	left := ran
+	for len(p.queue) > 0 && left > 0 {
+		w := &p.queue[0]
+		if w.cpu <= left {
+			left -= w.cpu
+			if w.fn != nil {
+				done = append(done, w.fn)
+			}
+			p.queue = append(p.queue[:0], p.queue[1:]...)
+		} else {
+			w.cpu -= left
+			left = 0
+		}
+	}
+
+	// Re-enqueue before callbacks so submissions from callbacks see a
+	// consistent state.
+	if p.pendingCPU() > 0 {
+		p.wokeAt = s.k.Now()
+		heap.Push(&s.runq, p)
+	}
+	for _, fn := range done {
+		fn()
+	}
+	s.scheduleDispatch()
+}
+
+// AddHogs adds n CPU-bound processes (stress-ng style) that stay runnable
+// forever, keeping the machine saturated.
+func (s *Scheduler) AddHogs(n int) {
+	chunk := s.cfg.TickQuantum
+	if chunk <= 0 {
+		chunk = s.cfg.MinGranularity
+	}
+	for i := 0; i < n; i++ {
+		p := s.NewProc(fmt.Sprintf("hog-%d", i))
+		p.SetRefill(func() sim.Duration { return chunk })
+	}
+}
+
+// AddNoise adds n tenant-like processes alternating exponential idle and
+// CPU bursts: the co-located replica processes of a multi-tenant server.
+// They create the bursty queueing that inflates tail latency.
+func (s *Scheduler) AddNoise(n int, burst, idle sim.Duration) {
+	for i := 0; i < n; i++ {
+		p := s.NewProc(fmt.Sprintf("noise-%d", i))
+		var loop func()
+		loop = func() {
+			b := sim.Duration(s.rng.Exp(float64(burst)))
+			p.Submit(b, func() {
+				s.k.After(sim.Duration(s.rng.Exp(float64(idle))), loop)
+			})
+		}
+		// Stagger starts to avoid synchronized bursts.
+		s.k.After(s.rng.DurationRange(0, idle+1), loop)
+	}
+}
+
+// AddStorms models periodic batch daemons (compaction, log rotation, page
+// flushers): every ~interval, each of n daemon processes receives a burst
+// of CPU work simultaneously. A replica handler woken during a storm
+// queues behind the whole cohort — the dominant source of multi-ms tail
+// latency on saturated multi-tenant boxes.
+func (s *Scheduler) AddStorms(n int, interval, burst sim.Duration) {
+	procs := make([]*Proc, n)
+	for i := range procs {
+		procs[i] = s.NewProc(fmt.Sprintf("daemon-%d", i))
+	}
+	var loop func()
+	loop = func() {
+		for _, p := range procs {
+			p.Submit(sim.Duration(s.rng.Exp(float64(burst))), nil)
+		}
+		s.k.After(sim.Duration(s.rng.Exp(float64(interval))), loop)
+	}
+	s.k.After(s.rng.DurationRange(0, interval+1), loop)
+}

@@ -1,0 +1,303 @@
+package cpusim
+
+import (
+	"testing"
+
+	"hyperloop/internal/sim"
+)
+
+func mustNew(t *testing.T, k *sim.Kernel, cfg Config) *Scheduler {
+	t.Helper()
+	s, err := New(k, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestConfigValidation(t *testing.T) {
+	k := sim.NewKernel(1)
+	if _, err := New(k, Config{Cores: 0}); err == nil {
+		t.Fatal("zero cores accepted")
+	}
+	if _, err := New(k, Config{Cores: 1}); err == nil {
+		t.Fatal("zero granularity accepted")
+	}
+}
+
+func TestIdleMachineRunsWorkQuickly(t *testing.T) {
+	k := sim.NewKernel(1)
+	s := mustNew(t, k, DefaultConfig(4))
+	p := s.NewProc("worker")
+	var doneAt sim.Time
+	p.Submit(10*sim.Microsecond, func() { doneAt = k.Now() })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// ctx switch (5µs) + work (10µs) + dispatch overhead.
+	if doneAt < sim.Time(10*sim.Microsecond) || doneAt > sim.Time(30*sim.Microsecond) {
+		t.Fatalf("idle-machine completion at %v, want ≈15µs", doneAt)
+	}
+	if p.TotalCPU() != 10*sim.Microsecond {
+		t.Fatalf("totalCPU = %v", p.TotalCPU())
+	}
+}
+
+func TestWorkOrderWithinProc(t *testing.T) {
+	k := sim.NewKernel(1)
+	s := mustNew(t, k, DefaultConfig(1))
+	p := s.NewProc("w")
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		p.Submit(sim.Microsecond, func() { order = append(order, i) })
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v", order)
+		}
+	}
+}
+
+func TestContextSwitchesCounted(t *testing.T) {
+	k := sim.NewKernel(1)
+	s := mustNew(t, k, DefaultConfig(1))
+	a, b := s.NewProc("a"), s.NewProc("b")
+	for i := 0; i < 3; i++ {
+		a.Submit(100*sim.Microsecond, nil)
+		b.Submit(100*sim.Microsecond, nil)
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if s.ContextSwitches() < 2 {
+		t.Fatalf("ctx switches = %d, want ≥2", s.ContextSwitches())
+	}
+}
+
+func TestLoadInflatesLatency(t *testing.T) {
+	// The paper's Fig. 2 mechanism: same work, more co-located load →
+	// higher completion latency and more context switches.
+	measure := func(hogs int) (sim.Duration, int64) {
+		k := sim.NewKernel(7)
+		s := mustNew(t, k, DefaultConfig(2))
+		s.AddHogs(hogs)
+		p := s.NewProc("replica")
+		var total sim.Duration
+		const ops = 50
+		done := 0
+		var issue func()
+		issue = func() {
+			start := k.Now()
+			p.Submit(5*sim.Microsecond, func() {
+				total += k.Now().Sub(start)
+				done++
+				if done < ops {
+					// Think time between ops.
+					k.After(200*sim.Microsecond, issue)
+				}
+			})
+		}
+		issue()
+		if err := k.RunUntil(sim.Time(2 * sim.Second)); err != nil {
+			t.Fatal(err)
+		}
+		if done != ops {
+			t.Fatalf("hogs=%d: completed %d/%d ops", hogs, done, ops)
+		}
+		return total / ops, s.ContextSwitches()
+	}
+	idleLat, _ := measure(0)
+	loadLat, loadCtx := measure(20)
+	if loadLat < 2*idleLat {
+		t.Fatalf("load did not inflate latency: idle=%v loaded=%v", idleLat, loadLat)
+	}
+	if loadCtx == 0 {
+		t.Fatal("no context switches under load")
+	}
+}
+
+func TestMoreCoresReduceLatency(t *testing.T) {
+	measure := func(cores int) sim.Duration {
+		k := sim.NewKernel(11)
+		s := mustNew(t, k, DefaultConfig(cores))
+		s.AddNoise(32, 300*sim.Microsecond, 2*sim.Millisecond)
+		p := s.NewProc("replica")
+		var total sim.Duration
+		const ops = 40
+		done := 0
+		var issue func()
+		issue = func() {
+			start := k.Now()
+			p.Submit(5*sim.Microsecond, func() {
+				total += k.Now().Sub(start)
+				done++
+				if done < ops {
+					k.After(500*sim.Microsecond, issue)
+				}
+			})
+		}
+		issue()
+		if err := k.RunUntil(sim.Time(3 * sim.Second)); err != nil {
+			t.Fatal(err)
+		}
+		if done != ops {
+			t.Fatalf("cores=%d: completed %d/%d", cores, done, ops)
+		}
+		return total / ops
+	}
+	few := measure(2)
+	many := measure(16)
+	if many >= few {
+		t.Fatalf("more cores did not help: 2 cores=%v 16 cores=%v", few, many)
+	}
+}
+
+func TestPinnedPollerHandlesImmediately(t *testing.T) {
+	k := sim.NewKernel(1)
+	s := mustNew(t, k, DefaultConfig(2))
+	s.AddHogs(50) // heavy load must not affect the pinned poller
+	p := s.NewProc("poller")
+	p.Pin()
+	if !p.Pinned() {
+		t.Fatal("pin flag lost")
+	}
+	var doneAt sim.Time
+	issueAt := sim.Time(10 * sim.Millisecond)
+	k.At(issueAt, func() {
+		p.Submit(2*sim.Microsecond, func() { doneAt = k.Now() })
+	})
+	if err := k.RunUntil(sim.Time(20 * sim.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	lat := doneAt.Sub(issueAt)
+	if lat > 10*sim.Microsecond {
+		t.Fatalf("pinned poller latency %v, want ≤10µs", lat)
+	}
+}
+
+func TestHogsSaturateUtilization(t *testing.T) {
+	k := sim.NewKernel(1)
+	s := mustNew(t, k, DefaultConfig(4))
+	s.AddHogs(8)
+	if err := k.RunUntil(sim.Time(100 * sim.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	if u := s.Utilization(); u < 0.95 {
+		t.Fatalf("utilization = %.2f, want ≈1.0", u)
+	}
+}
+
+func TestIdleUtilizationNearZero(t *testing.T) {
+	k := sim.NewKernel(1)
+	s := mustNew(t, k, DefaultConfig(4))
+	p := s.NewProc("w")
+	p.Submit(sim.Microsecond, nil)
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	k.At(sim.Time(sim.Second), func() {})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if u := s.Utilization(); u > 0.01 {
+		t.Fatalf("idle utilization = %.4f", u)
+	}
+}
+
+func TestFairnessBetweenCompetingProcs(t *testing.T) {
+	k := sim.NewKernel(1)
+	s := mustNew(t, k, DefaultConfig(1))
+	a, b := s.NewProc("a"), s.NewProc("b")
+	a.SetRefill(func() sim.Duration { return 500 * sim.Microsecond })
+	b.SetRefill(func() sim.Duration { return 500 * sim.Microsecond })
+	if err := k.RunUntil(sim.Time(sim.Second)); err != nil {
+		t.Fatal(err)
+	}
+	ra, rb := float64(a.TotalCPU()), float64(b.TotalCPU())
+	if ra == 0 || rb == 0 {
+		t.Fatal("a competitor starved")
+	}
+	ratio := ra / rb
+	if ratio < 0.8 || ratio > 1.25 {
+		t.Fatalf("unfair split: a=%v b=%v", a.TotalCPU(), b.TotalCPU())
+	}
+}
+
+func TestSleeperNotStarvedByHogs(t *testing.T) {
+	// A woken interactive proc must run well before a full round of hogs.
+	k := sim.NewKernel(3)
+	s := mustNew(t, k, DefaultConfig(1))
+	s.AddHogs(10)
+	p := s.NewProc("interactive")
+	var worst sim.Duration
+	done := 0
+	var issue func()
+	issue = func() {
+		start := k.Now()
+		p.Submit(sim.Microsecond, func() {
+			if d := k.Now().Sub(start); d > worst {
+				worst = d
+			}
+			done++
+			if done < 20 {
+				k.After(5*sim.Millisecond, issue)
+			}
+		})
+	}
+	k.After(50*sim.Millisecond, issue)
+	if err := k.RunUntil(sim.Time(sim.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if done != 20 {
+		t.Fatalf("completed %d/20", done)
+	}
+	// 10 hogs × min granularity each would be 7.5ms; wakeup placement
+	// must beat a full round robin.
+	if worst > 5*sim.Millisecond {
+		t.Fatalf("worst wakeup latency %v, want <5ms", worst)
+	}
+}
+
+func TestMeanWaitTracked(t *testing.T) {
+	k := sim.NewKernel(1)
+	s := mustNew(t, k, DefaultConfig(1))
+	s.AddHogs(4)
+	p := s.NewProc("w")
+	p.Submit(sim.Microsecond, nil)
+	if err := k.RunUntil(sim.Time(100 * sim.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	if p.MeanWait() <= 0 {
+		t.Fatal("wait time not tracked under load")
+	}
+}
+
+func TestNoiseDeterministicAcrossRuns(t *testing.T) {
+	run := func() (int64, sim.Duration) {
+		k := sim.NewKernel(99)
+		s := mustNew(t, k, DefaultConfig(4))
+		s.AddNoise(20, 200*sim.Microsecond, sim.Millisecond)
+		p := s.NewProc("x")
+		var total sim.Duration
+		for i := 0; i < 10; i++ {
+			at := sim.Time(i) * sim.Time(10*sim.Millisecond)
+			k.At(at, func() {
+				start := k.Now()
+				p.Submit(3*sim.Microsecond, func() { total += k.Now().Sub(start) })
+			})
+		}
+		if err := k.RunUntil(sim.Time(200 * sim.Millisecond)); err != nil {
+			t.Fatal(err)
+		}
+		return s.ContextSwitches(), total
+	}
+	c1, t1 := run()
+	c2, t2 := run()
+	if c1 != c2 || t1 != t2 {
+		t.Fatalf("nondeterministic: (%d,%v) vs (%d,%v)", c1, t1, c2, t2)
+	}
+}

@@ -1,0 +1,474 @@
+// Package docstore is a MongoDB-like replicated document store (§5.2):
+// JSON documents in collections, a journal (oplog) replicated with Append,
+// transaction execution via ExecuteAndAdvance under the group write lock,
+// and per-replica read locks so backups can serve consistent reads.
+//
+// The store runs over either replication backend (HyperLoop or
+// Naive-RDMA) through the txn layer, mirroring the paper's front-end /
+// back-end split: the front end (this package, on the client) marshals
+// documents and drives the journal; the back ends are just NVM + NIC.
+package docstore
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sort"
+
+	"hyperloop/internal/sim"
+	"hyperloop/internal/txn"
+	"hyperloop/internal/wal"
+)
+
+// Slot framing in the data region. The payload CRC makes one-sided
+// (lock-free) replica reads safe: a torn or concurrently-updated slot
+// fails the check and the reader retries — the FaRM-style integrity-check
+// read the paper's §5 refers to.
+const (
+	slotMagic      = 0x484C4443    // "HLDC"
+	slotHeaderSize = 4 + 4 + 4 + 4 // magic, payload len, collection hash, payload crc
+)
+
+// Errors returned by the store.
+var (
+	ErrNotFound    = errors.New("docstore: document not found")
+	ErrExists      = errors.New("docstore: document already exists")
+	ErrTooLarge    = errors.New("docstore: document exceeds slot size")
+	ErrNoSpace     = errors.New("docstore: data region full")
+	ErrBadArgument = errors.New("docstore: bad argument")
+)
+
+// Doc is a JSON document. Every document carries a string "_id".
+type Doc = map[string]any
+
+// Config parameterizes a Store.
+type Config struct {
+	LogSize  int
+	DataSize int
+	// SlotSize is the fixed per-document slot in the data region.
+	SlotSize int
+	// LockToken identifies this writer in the group lock.
+	LockToken uint64
+}
+
+// DefaultConfig sizes the store for the YCSB benchmarks.
+func DefaultConfig() Config {
+	return Config{
+		LogSize:  256 * 1024,
+		DataSize: 4 << 20,
+		SlotSize: 2048,
+	}
+}
+
+// MirrorSizeFor returns the group mirror size cfg requires.
+func MirrorSizeFor(cfg Config) int { return txn.MirrorSizeFor(cfg.LogSize, cfg.DataSize) }
+
+// Stats counts store activity.
+type Stats struct {
+	Inserts     int64
+	Updates     int64
+	Deletes     int64
+	Finds       int64
+	Scans       int64
+	ReplicaGets int64
+}
+
+type slotRef struct {
+	coll string
+	id   string
+}
+
+// Store is the replicated document store.
+type Store struct {
+	st    *txn.Store
+	cfg   Config
+	slots int
+
+	// directory: collection → id → slot index; plus sorted ids per
+	// collection for scans and a free-slot list.
+	dir    map[string]map[string]int
+	sorted map[string][]string
+	used   []bool
+	refs   []slotRef
+	stats  Stats
+}
+
+// Open builds a Store over a replication group.
+func Open(r txn.Replicator, cfg Config) (*Store, error) {
+	if cfg.SlotSize <= slotHeaderSize+2 {
+		return nil, fmt.Errorf("%w: slot size too small", ErrBadArgument)
+	}
+	if cfg.DataSize < cfg.SlotSize {
+		return nil, fmt.Errorf("%w: data region smaller than one slot", ErrBadArgument)
+	}
+	st, err := txn.New(r, txn.Config{
+		LogSize: cfg.LogSize, DataSize: cfg.DataSize, LockToken: cfg.LockToken,
+	})
+	if err != nil {
+		return nil, err
+	}
+	slots := cfg.DataSize / cfg.SlotSize
+	return &Store{
+		st:     st,
+		cfg:    cfg,
+		slots:  slots,
+		dir:    make(map[string]map[string]int),
+		sorted: make(map[string][]string),
+		used:   make([]bool, slots),
+		refs:   make([]slotRef, slots),
+	}, nil
+}
+
+// Store exposes the underlying transaction store.
+func (s *Store) Txn() *txn.Store { return s.st }
+
+// Stats returns activity counters.
+func (s *Store) Stats() Stats { return s.stats }
+
+// Count returns the number of documents in a collection.
+func (s *Store) Count(coll string) int { return len(s.dir[coll]) }
+
+func collHash(coll string) uint32 {
+	var h uint32 = 2166136261
+	for i := 0; i < len(coll); i++ {
+		h = (h ^ uint32(coll[i])) * 16777619
+	}
+	return h
+}
+
+func docID(doc Doc) (string, error) {
+	v, ok := doc["_id"]
+	if !ok {
+		return "", fmt.Errorf("%w: document missing _id", ErrBadArgument)
+	}
+	id, ok := v.(string)
+	if !ok || id == "" {
+		return "", fmt.Errorf("%w: _id must be a non-empty string", ErrBadArgument)
+	}
+	return id, nil
+}
+
+func (s *Store) allocSlot() (int, error) {
+	for i, u := range s.used {
+		if !u {
+			return i, nil
+		}
+	}
+	return 0, ErrNoSpace
+}
+
+func (s *Store) slotOff(i int) int { return i * s.cfg.SlotSize }
+
+// encodeSlot frames a document payload for its slot.
+func (s *Store) encodeSlot(coll string, payload []byte) ([]byte, error) {
+	if slotHeaderSize+len(payload) > s.cfg.SlotSize {
+		return nil, fmt.Errorf("%w: %d bytes", ErrTooLarge, len(payload))
+	}
+	buf := make([]byte, slotHeaderSize+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:], slotMagic)
+	binary.LittleEndian.PutUint32(buf[4:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[8:], collHash(coll))
+	binary.LittleEndian.PutUint32(buf[12:], crc32.ChecksumIEEE(payload))
+	copy(buf[slotHeaderSize:], payload)
+	return buf, nil
+}
+
+// decodeSlot parses one slot image; ok=false for a free slot or a slot
+// whose payload fails its integrity check (torn write).
+func decodeSlot(img []byte) (payload []byte, hash uint32, ok bool) {
+	if len(img) < slotHeaderSize {
+		return nil, 0, false
+	}
+	if binary.LittleEndian.Uint32(img[0:]) != slotMagic {
+		return nil, 0, false
+	}
+	n := int(binary.LittleEndian.Uint32(img[4:]))
+	if slotHeaderSize+n > len(img) {
+		return nil, 0, false
+	}
+	payload = img[slotHeaderSize : slotHeaderSize+n]
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(img[12:]) {
+		return nil, 0, false
+	}
+	return payload, binary.LittleEndian.Uint32(img[8:]), true
+}
+
+// commit appends the journal record and executes it under the group write
+// lock — the §5.2 transaction flow (wrLock … ExecuteAndAdvance … wrUnlock).
+func (s *Store) commit(f *sim.Fiber, entries []wal.Entry) error {
+	if _, err := s.st.Append(f, entries); err != nil {
+		return err
+	}
+	return s.st.WithWrLock(f, func() error {
+		_, err := s.st.ExecuteAll(f)
+		return err
+	})
+}
+
+func (s *Store) indexInsert(coll, id string, slot int) {
+	if s.dir[coll] == nil {
+		s.dir[coll] = make(map[string]int)
+	}
+	s.dir[coll][id] = slot
+	ids := s.sorted[coll]
+	pos := sort.SearchStrings(ids, id)
+	ids = append(ids, "")
+	copy(ids[pos+1:], ids[pos:])
+	ids[pos] = id
+	s.sorted[coll] = ids
+	s.used[slot] = true
+	s.refs[slot] = slotRef{coll: coll, id: id}
+}
+
+func (s *Store) indexDelete(coll, id string) {
+	slot, ok := s.dir[coll][id]
+	if !ok {
+		return
+	}
+	delete(s.dir[coll], id)
+	ids := s.sorted[coll]
+	pos := sort.SearchStrings(ids, id)
+	if pos < len(ids) && ids[pos] == id {
+		s.sorted[coll] = append(ids[:pos], ids[pos+1:]...)
+	}
+	s.used[slot] = false
+	s.refs[slot] = slotRef{}
+}
+
+// Insert adds a new document to coll.
+func (s *Store) Insert(f *sim.Fiber, coll string, doc Doc) error {
+	id, err := docID(doc)
+	if err != nil {
+		return err
+	}
+	if _, exists := s.dir[coll][id]; exists {
+		return fmt.Errorf("%w: %s/%s", ErrExists, coll, id)
+	}
+	// Stamp the collection into the stored form so recovery can rebuild
+	// the directory from slots alone.
+	stored := make(Doc, len(doc)+1)
+	for k, v := range doc {
+		stored[k] = v
+	}
+	stored["_coll"] = coll
+	payload, err := json.Marshal(stored)
+	if err != nil {
+		return fmt.Errorf("docstore: marshal: %w", err)
+	}
+	slot, err := s.allocSlot()
+	if err != nil {
+		return err
+	}
+	img, err := s.encodeSlot(coll, payload)
+	if err != nil {
+		return err
+	}
+	if err := s.commit(f, []wal.Entry{{Off: s.slotOff(slot), Data: img}}); err != nil {
+		return err
+	}
+	s.indexInsert(coll, id, slot)
+	s.stats.Inserts++
+	return nil
+}
+
+// Update merges fields into the document with the given id.
+func (s *Store) Update(f *sim.Fiber, coll, id string, fields Doc) error {
+	slot, ok := s.dir[coll][id]
+	if !ok {
+		return fmt.Errorf("%w: %s/%s", ErrNotFound, coll, id)
+	}
+	doc, err := s.loadSlotDoc(slot)
+	if err != nil {
+		return err
+	}
+	for k, v := range fields {
+		if k == "_id" {
+			continue
+		}
+		doc[k] = v
+	}
+	payload, err := json.Marshal(doc)
+	if err != nil {
+		return fmt.Errorf("docstore: marshal: %w", err)
+	}
+	img, err := s.encodeSlot(coll, payload)
+	if err != nil {
+		return err
+	}
+	if err := s.commit(f, []wal.Entry{{Off: s.slotOff(slot), Data: img}}); err != nil {
+		return err
+	}
+	s.stats.Updates++
+	return nil
+}
+
+// Delete removes a document: the journal entry zeroes the slot header.
+func (s *Store) Delete(f *sim.Fiber, coll, id string) error {
+	slot, ok := s.dir[coll][id]
+	if !ok {
+		return fmt.Errorf("%w: %s/%s", ErrNotFound, coll, id)
+	}
+	zero := make([]byte, slotHeaderSize)
+	if err := s.commit(f, []wal.Entry{{Off: s.slotOff(slot), Data: zero}}); err != nil {
+		return err
+	}
+	s.indexDelete(coll, id)
+	s.stats.Deletes++
+	return nil
+}
+
+func (s *Store) loadSlotDoc(slot int) (Doc, error) {
+	img, err := s.st.ReadData(s.slotOff(slot), s.cfg.SlotSize)
+	if err != nil {
+		return nil, err
+	}
+	payload, _, ok := decodeSlot(img)
+	if !ok {
+		return nil, fmt.Errorf("%w: slot %d empty", ErrNotFound, slot)
+	}
+	var doc Doc
+	if err := json.Unmarshal(payload, &doc); err != nil {
+		return nil, fmt.Errorf("docstore: unmarshal: %w", err)
+	}
+	return doc, nil
+}
+
+// FindID returns the document with the given id (strong read from the
+// client's authoritative copy).
+func (s *Store) FindID(coll, id string) (Doc, error) {
+	slot, ok := s.dir[coll][id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s/%s", ErrNotFound, coll, id)
+	}
+	s.stats.Finds++
+	return s.loadSlotDoc(slot)
+}
+
+// Scan returns up to max documents with id >= start, in id order.
+func (s *Store) Scan(coll, start string, max int) ([]Doc, error) {
+	ids := s.sorted[coll]
+	pos := sort.SearchStrings(ids, start)
+	var out []Doc
+	for ; pos < len(ids) && len(out) < max; pos++ {
+		doc, err := s.FindID(coll, ids[pos])
+		if err != nil {
+			return out, err
+		}
+		out = append(out, doc)
+	}
+	s.stats.Scans++
+	return out, nil
+}
+
+// ReadReplica serves the document from replica i's copy under a read lock
+// (§5: "read locks ... help all replicas simultaneously serve consistent
+// reads"). replicaImg must be replica i's mirror image reader.
+func (s *Store) ReadReplica(f *sim.Fiber, replica int, replicaImg func(off, n int) ([]byte, error), coll, id string) (Doc, error) {
+	slot, ok := s.dir[coll][id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s/%s", ErrNotFound, coll, id)
+	}
+	if err := s.st.RdLock(f, replica); err != nil {
+		return nil, err
+	}
+	defer func() { _ = s.st.RdUnlock(f, replica) }()
+	off := s.st.DataOff() + s.slotOff(slot)
+	img, err := replicaImg(off, s.cfg.SlotSize)
+	if err != nil {
+		return nil, err
+	}
+	payload, _, ok2 := decodeSlot(img)
+	if !ok2 {
+		return nil, fmt.Errorf("%w: replica slot empty", ErrNotFound)
+	}
+	var doc Doc
+	if err := json.Unmarshal(payload, &doc); err != nil {
+		return nil, fmt.Errorf("docstore: replica unmarshal: %w", err)
+	}
+	s.stats.ReplicaGets++
+	return doc, nil
+}
+
+// Recover rebuilds the store after a crash: repair the journal, re-execute
+// pending records, then rebuild the directory by scanning slots.
+func (s *Store) Recover(f *sim.Fiber) error {
+	if _, err := s.st.Recover(f); err != nil {
+		return err
+	}
+	s.dir = make(map[string]map[string]int)
+	s.sorted = make(map[string][]string)
+	s.used = make([]bool, s.slots)
+	s.refs = make([]slotRef, s.slots)
+	collNames := make(map[uint32]string)
+	// Collection names are recovered from documents' own payloads: we
+	// remember hash→name as we parse.
+	for i := 0; i < s.slots; i++ {
+		img, err := s.st.ReadData(s.slotOff(i), s.cfg.SlotSize)
+		if err != nil {
+			return err
+		}
+		payload, hash, ok := decodeSlot(img)
+		if !ok {
+			continue
+		}
+		var doc Doc
+		if err := json.Unmarshal(payload, &doc); err != nil {
+			continue // torn slot content; skip
+		}
+		id, err := docID(doc)
+		if err != nil {
+			continue
+		}
+		coll := collNames[hash]
+		if coll == "" {
+			if c, ok := doc["_coll"].(string); ok {
+				coll = c
+			} else {
+				coll = fmt.Sprintf("coll-%08x", hash)
+			}
+			collNames[hash] = coll
+		}
+		s.indexInsert(coll, id, i)
+	}
+	return nil
+}
+
+// ErrTornRead is returned when a lock-free replica read keeps observing a
+// torn slot (concurrent update) after exhausting its retries.
+var ErrTornRead = errors.New("docstore: torn lock-free read")
+
+// ReadReplicaLockFree serves the document from a replica's copy WITHOUT a
+// read lock, relying on the slot's integrity check to reject torn values
+// and retrying briefly — the FaRM-style read path §5 contrasts with read
+// locks. Higher read throughput, but only the replica being read
+// participates and no lock is taken.
+func (s *Store) ReadReplicaLockFree(f *sim.Fiber, replicaImg func(off, n int) ([]byte, error), coll, id string) (Doc, error) {
+	slot, ok := s.dir[coll][id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s/%s", ErrNotFound, coll, id)
+	}
+	off := s.st.DataOff() + s.slotOff(slot)
+	const retries = 8
+	for attempt := 0; attempt < retries; attempt++ {
+		img, err := replicaImg(off, s.cfg.SlotSize)
+		if err != nil {
+			return nil, err
+		}
+		payload, _, ok := decodeSlot(img)
+		if !ok {
+			// Torn or mid-update: back off one network RTT and retry.
+			f.Sleep(2 * sim.Microsecond)
+			continue
+		}
+		var doc Doc
+		if err := json.Unmarshal(payload, &doc); err != nil {
+			f.Sleep(2 * sim.Microsecond)
+			continue
+		}
+		s.stats.ReplicaGets++
+		return doc, nil
+	}
+	return nil, ErrTornRead
+}

@@ -1,0 +1,103 @@
+package docstore
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"hyperloop/internal/sim"
+)
+
+// TestDocstoreAgainstModelProperty replays random insert/update/delete
+// programs against the replicated store and an in-memory model map, then
+// checks they agree — including after a crash + recovery in the middle.
+func TestDocstoreAgainstModelProperty(t *testing.T) {
+	type op struct {
+		Kind  uint8
+		ID    uint8
+		Field uint8
+		Crash bool
+	}
+	f := func(ops []op) bool {
+		if len(ops) > 20 {
+			ops = ops[:20]
+		}
+		cfg := smallConfig()
+		k, s, g := testStore(t, cfg)
+		model := make(map[string]string) // id → field value
+		ok := true
+		apply := func(f *sim.Fiber, o op) bool {
+			id := fmt.Sprintf("doc%02d", o.ID%16)
+			val := fmt.Sprintf("v%d", o.Field)
+			switch o.Kind % 3 {
+			case 0: // insert (or no-op if exists)
+				err := s.Insert(f, "c", Doc{"_id": id, "f": val})
+				if _, exists := model[id]; exists {
+					if !errors.Is(err, ErrExists) {
+						return false
+					}
+				} else {
+					if err != nil {
+						return false
+					}
+					model[id] = val
+				}
+			case 1: // update (or not-found)
+				err := s.Update(f, "c", id, Doc{"f": val})
+				if _, exists := model[id]; exists {
+					if err != nil {
+						return false
+					}
+					model[id] = val
+				} else if !errors.Is(err, ErrNotFound) {
+					return false
+				}
+			case 2: // delete (or not-found)
+				err := s.Delete(f, "c", id)
+				if _, exists := model[id]; exists {
+					if err != nil {
+						return false
+					}
+					delete(model, id)
+				} else if !errors.Is(err, ErrNotFound) {
+					return false
+				}
+			}
+			return true
+		}
+		k.Spawn("prog", func(f *sim.Fiber) {
+			for i, o := range ops {
+				if !apply(f, o) {
+					ok = false
+					return
+				}
+				if o.Crash && i == len(ops)/2 {
+					// Power-fail the client mid-program and recover.
+					g.ClientNIC().Memory().Crash()
+					if err := s.Recover(f); err != nil {
+						ok = false
+						return
+					}
+				}
+			}
+		})
+		if err := k.Run(); err != nil || !ok {
+			return false
+		}
+		// Final agreement.
+		if s.Count("c") != len(model) {
+			return false
+		}
+		for id, val := range model {
+			doc, err := s.FindID("c", id)
+			if err != nil || doc["f"] != val {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

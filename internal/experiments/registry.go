@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Fn is an experiment entry point.
+type Fn func(seed uint64, scale Scale) (*Report, error)
+
+// entry pairs an experiment with its description for listings.
+type entry struct {
+	fn   Fn
+	desc string
+}
+
+var registry = map[string]entry{
+	"fig2a":           {Fig2a, "latency & context switches vs replica-sets per server (§2.2)"},
+	"fig2b":           {Fig2b, "latency vs cores per machine (§2.2)"},
+	"fig8a":           {Fig8a, "gWRITE latency vs message size (§6.1)"},
+	"fig8b":           {Fig8b, "gMEMCPY latency vs message size (§6.1)"},
+	"table2":          {Table2, "gCAS latency statistics (§6.1)"},
+	"fig9":            {Fig9, "gWRITE throughput + critical-path CPU (§6.1)"},
+	"fig10":           {Fig10, "p99 gWRITE latency vs group size (§6.1)"},
+	"fig11":           {Fig11, "KV store YCSB-A latency across backends (§6.2)"},
+	"fig12":           {Fig12, "document store latency across YCSB workloads (§6.2)"},
+	"table3":          {Table3, "YCSB workload definitions (§6.2)"},
+	"abl-load":        {AblationNoLoad, "ablation: co-located load is the root cause"},
+	"abl-flush":       {AblationFlush, "ablation: gFLUSH durability cost"},
+	"abl-depth":       {AblationDepth, "ablation: pre-armed window depth"},
+	"abl-fanout":      {AblationFanout, "ablation: chain vs fan-out topology (§7)"},
+	"abl-consistency": {AblationConsistency, "ablation: weaker consistency models (§7)"},
+}
+
+// Names returns all experiment ids, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for k := range registry {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Describe returns an experiment's one-line description.
+func Describe(name string) string { return registry[name].desc }
+
+// Run executes the named experiment.
+func Run(name string, seed uint64, scale Scale) (*Report, error) {
+	e, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names())
+	}
+	return e.fn(seed, scale)
+}
+
+// PaperOrder lists experiment ids in the order they appear in the paper.
+func PaperOrder() []string {
+	return []string{
+		"fig2a", "fig2b",
+		"table3",
+		"fig8a", "fig8b", "table2", "fig9", "fig10",
+		"fig11", "fig12",
+		"abl-load", "abl-flush", "abl-depth", "abl-fanout", "abl-consistency",
+	}
+}

@@ -1,0 +1,362 @@
+package hyperloop
+
+import (
+	"fmt"
+
+	"hyperloop/internal/nvm"
+	"hyperloop/internal/rdma"
+	"hyperloop/internal/sim"
+)
+
+// FanoutGroup implements the paper's §7 extension: instead of a chain, a
+// single primary coordinates all backups (FaRM-style), with the
+// coordination offloaded from the primary's CPU to the primary's NIC.
+//
+// Per operation the primary's NIC runs, without CPU:
+//
+//	loopback QP:        [WAIT(recvCQ,1) → L1 → L2]        local ops
+//	per-backup fwd QP:  [WAIT_ABS(loopCQ) → F1 → F2]      parallel fan-out
+//	client QP:          [WAIT_ABS(ack_1) … WAIT_ABS(ack_B) → ACK WRITE_IMM]
+//
+// Each backup runs the same loopback chain plus an ACK SEND back to the
+// primary. The per-backup absolute WAITs make the group ACK correct even
+// with pipelined operations: the ACK for sequence s fires only once every
+// backup has acknowledged its s-th operation.
+//
+// Chain vs fan-out is the load-balance trade-off the paper discusses: the
+// chain keeps at most one active write QP per hop, while fan-out
+// concentrates G-1 of them (and all the data transmission) on the primary.
+type FanoutGroup struct {
+	fab *rdma.Fabric
+	k   *sim.Kernel
+	cfg Config
+
+	client  *rdma.NIC
+	qpHead  *rdma.QP
+	qpAck   *rdma.QP // client side of the primary's client QP (ACK target)
+	ackMR   *rdma.MemoryRegion
+	ackOff  uint64
+	metaOff uint64
+
+	primary *fanPrimary
+	backups []*fanBackup
+
+	nextSeq  uint64
+	inflight map[uint64]*pendingOp
+
+	opsIssued    int64
+	opsCompleted int64
+}
+
+// fanPrimary holds the coordinator's NIC resources.
+type fanPrimary struct {
+	nic    *rdma.NIC
+	mirror *rdma.MemoryRegion
+
+	qpClient *rdma.QP // from client (metadata in, group ACK out)
+	qpLoop   *rdma.QP
+	qpFwd    []*rdma.QP // one per backup
+	qpAckIn  []*rdma.QP // one per backup, ack receive side
+
+	recvCQ *rdma.CQ   // metadata receives
+	loopCQ *rdma.CQ   // L1/L2 completions
+	ackCQs []*rdma.CQ // per-backup ack receive CQs
+
+	resultOff   uint64 // per-op result blocks: [(1+B)*8 results][16 hdr]
+	resultSlot  int
+	stagingOff  uint64 // per-op per-backup forwarded metadata
+	stagingSlot int
+
+	completed uint64
+}
+
+// fanBackup holds one backup's NIC resources.
+type fanBackup struct {
+	index  int // 1-based backup number
+	nic    *rdma.NIC
+	mirror *rdma.MemoryRegion
+
+	qpPrev *rdma.QP // from primary
+	qpLoop *rdma.QP
+	qpAck  *rdma.QP // to primary
+
+	recvCQ *rdma.CQ
+	loopCQ *rdma.CQ
+
+	ackOff  uint64 // per-op ack slots: [16 hdr][8 result]
+	ackSlot int
+
+	completed uint64
+}
+
+// Fan-out metadata layout (client → primary):
+//
+//	[P.L1][P.L2]  [F1_1][F2_1]…[F1_B][F2_B]  [bmeta_1]…[bmeta_B]  [hdr]
+//
+// where bmeta_j = [B.L1][B.L2][hdr] is forwarded verbatim to backup j.
+const (
+	fanBackupMetaLen = 2*rdma.DescLen + headerSize
+	fanAckLen        = headerSize + resultEntry // backup → primary ack
+)
+
+func (g *FanoutGroup) numBackups() int { return len(g.backups) }
+
+func (g *FanoutGroup) metaLen() int {
+	b := g.numBackups()
+	return 2*rdma.DescLen + b*2*rdma.DescLen + b*fanBackupMetaLen + headerSize
+}
+
+func (g *FanoutGroup) resultSlotLen() int {
+	return (1+g.numBackups())*resultEntry + headerSize
+}
+
+// SetupFanout builds a fan-out group: members[0] is the primary, the rest
+// are backups. The same Config as the chain group applies.
+func SetupFanout(fab *rdma.Fabric, client *rdma.NIC, members []*rdma.NIC, cfg Config) (*FanoutGroup, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("%w: need at least a primary", ErrBadArgument)
+	}
+	if cfg.MirrorSize <= 0 {
+		return nil, fmt.Errorf("%w: mirror size must be positive", ErrBadArgument)
+	}
+	if cfg.Depth <= 0 {
+		cfg.Depth = 32
+	}
+	for cfg.Depth&(cfg.Depth-1) != 0 {
+		cfg.Depth++
+	}
+	if cfg.ReArmDelay <= 0 {
+		cfg.ReArmDelay = 5 * sim.Microsecond
+	}
+	g := &FanoutGroup{
+		fab:      fab,
+		k:        fab.Kernel(),
+		cfg:      cfg,
+		client:   client,
+		inflight: make(map[uint64]*pendingOp),
+	}
+	for i := 1; i < len(members); i++ {
+		g.backups = append(g.backups, &fanBackup{index: i})
+	}
+	if err := g.setupClient(); err != nil {
+		return nil, err
+	}
+	if err := g.setupPrimary(members[0]); err != nil {
+		return nil, fmt.Errorf("primary: %w", err)
+	}
+	for j, b := range g.backups {
+		if err := g.setupBackup(b, members[j+1]); err != nil {
+			return nil, fmt.Errorf("backup %d: %w", j+1, err)
+		}
+	}
+	// Wire: client ↔ primary; primary fwd_j ↔ backup j prev; backup ack ↔
+	// primary ackIn_j.
+	g.qpHead.Connect(g.primary.qpClient)
+	// The ACK WRITE_IMM travels primary→client on the same QP pair; the
+	// client's qpAck is an alias of qpHead's peer relationship, so ACK
+	// receives are posted on qpHead itself.
+	g.qpAck = g.qpHead
+	for j, b := range g.backups {
+		g.primary.qpFwd[j].Connect(b.qpPrev)
+		b.qpAck.Connect(g.primary.qpAckIn[j])
+	}
+	for seq := uint64(0); seq < uint64(cfg.Depth); seq++ {
+		if err := g.armPrimary(seq); err != nil {
+			return nil, fmt.Errorf("arm primary seq %d: %w", seq, err)
+		}
+		for _, b := range g.backups {
+			if err := g.armBackup(b, seq); err != nil {
+				return nil, fmt.Errorf("arm backup %d seq %d: %w", b.index, seq, err)
+			}
+		}
+		g.qpAck.PostRecv(rdma.RecvWQE{})
+	}
+	g.installFanReArm()
+	g.qpAck.RecvCQ().SetHandler(g.onAck)
+	return g, nil
+}
+
+func (g *FanoutGroup) setupClient() error {
+	dev := g.client.Memory()
+	alloc := nvm.NewAllocator(dev)
+	mirror, err := alloc.Alloc("mirror", g.cfg.MirrorSize)
+	if err != nil {
+		return err
+	}
+	if mirror.Off != 0 {
+		return fmt.Errorf("hyperloop: client mirror not at offset 0")
+	}
+	meta, err := alloc.Alloc("meta", g.cfg.Depth*g.metaLen())
+	if err != nil {
+		return err
+	}
+	ack, err := alloc.Alloc("ack", g.cfg.Depth*g.resultSlotLen())
+	if err != nil {
+		return err
+	}
+	ring, err := alloc.Alloc("head-ring", 2*g.cfg.Depth*rdma.WQESize)
+	if err != nil {
+		return err
+	}
+	g.metaOff = uint64(meta.Off)
+	g.ackOff = uint64(ack.Off)
+	g.ackMR, err = g.client.RegisterMR(uint64(ack.Off), uint64(ack.Len), rdma.AccessRemoteWrite)
+	if err != nil {
+		return err
+	}
+	g.qpHead, err = g.client.CreateQP(rdma.QPConfig{
+		SendRingOff: uint64(ring.Off), SendSlots: ring.Len / rdma.WQESize,
+		SendCQ: g.client.CreateCQ(), RecvCQ: g.client.CreateCQ(),
+	})
+	return err
+}
+
+func (g *FanoutGroup) setupPrimary(nic *rdma.NIC) error {
+	p := &fanPrimary{nic: nic}
+	b := g.numBackups()
+	alloc := nvm.NewAllocator(nic.Memory())
+	mirror, err := alloc.Alloc("mirror", g.cfg.MirrorSize)
+	if err != nil {
+		return err
+	}
+	if mirror.Off != 0 {
+		return fmt.Errorf("hyperloop: primary mirror not at offset 0")
+	}
+	p.resultSlot = g.resultSlotLen()
+	results, err := alloc.Alloc("results", g.cfg.Depth*p.resultSlot)
+	if err != nil {
+		return err
+	}
+	p.stagingSlot = fanBackupMetaLen
+	staging, err := alloc.Alloc("staging", g.cfg.Depth*maxInt(b, 1)*p.stagingSlot)
+	if err != nil {
+		return err
+	}
+	clientRing, err := alloc.Alloc("client-ring", (maxInt(b, 1)+1)*g.cfg.Depth*rdma.WQESize)
+	if err != nil {
+		return err
+	}
+	loopRing, err := alloc.Alloc("loop-ring", 3*g.cfg.Depth*rdma.WQESize)
+	if err != nil {
+		return err
+	}
+	p.resultOff = uint64(results.Off)
+	p.stagingOff = uint64(staging.Off)
+	p.mirror, err = nic.RegisterMR(0, uint64(g.cfg.MirrorSize),
+		rdma.AccessRemoteRead|rdma.AccessRemoteWrite|rdma.AccessRemoteAtomic)
+	if err != nil {
+		return err
+	}
+	p.recvCQ = nic.CreateCQ()
+	p.loopCQ = nic.CreateCQ()
+	p.qpClient, err = nic.CreateQP(rdma.QPConfig{
+		SendRingOff: uint64(clientRing.Off), SendSlots: clientRing.Len / rdma.WQESize,
+		SendCQ: nic.CreateCQ(), RecvCQ: p.recvCQ,
+	})
+	if err != nil {
+		return err
+	}
+	p.qpLoop, err = nic.CreateQP(rdma.QPConfig{
+		SendRingOff: uint64(loopRing.Off), SendSlots: loopRing.Len / rdma.WQESize,
+		SendCQ: p.loopCQ, RecvCQ: nic.CreateCQ(),
+	})
+	if err != nil {
+		return err
+	}
+	p.qpLoop.Connect(p.qpLoop)
+	for j := 0; j < b; j++ {
+		fwdRing, err := alloc.Alloc(fmt.Sprintf("fwd-ring-%d", j), 3*g.cfg.Depth*rdma.WQESize)
+		if err != nil {
+			return err
+		}
+		qp, err := nic.CreateQP(rdma.QPConfig{
+			SendRingOff: uint64(fwdRing.Off), SendSlots: fwdRing.Len / rdma.WQESize,
+			SendCQ: nic.CreateCQ(), RecvCQ: nic.CreateCQ(),
+		})
+		if err != nil {
+			return err
+		}
+		p.qpFwd = append(p.qpFwd, qp)
+
+		ackRing, err := alloc.Alloc(fmt.Sprintf("ackin-ring-%d", j), rdma.WQESize)
+		if err != nil {
+			return err
+		}
+		ackCQ := nic.CreateCQ()
+		aqp, err := nic.CreateQP(rdma.QPConfig{
+			SendRingOff: uint64(ackRing.Off), SendSlots: 1,
+			SendCQ: nic.CreateCQ(), RecvCQ: ackCQ,
+		})
+		if err != nil {
+			return err
+		}
+		p.qpAckIn = append(p.qpAckIn, aqp)
+		p.ackCQs = append(p.ackCQs, ackCQ)
+	}
+	g.primary = p
+	return nil
+}
+
+func (g *FanoutGroup) setupBackup(b *fanBackup, nic *rdma.NIC) error {
+	b.nic = nic
+	alloc := nvm.NewAllocator(nic.Memory())
+	mirror, err := alloc.Alloc("mirror", g.cfg.MirrorSize)
+	if err != nil {
+		return err
+	}
+	if mirror.Off != 0 {
+		return fmt.Errorf("hyperloop: backup mirror not at offset 0")
+	}
+	b.ackSlot = fanAckLen
+	ackBuf, err := alloc.Alloc("ack", g.cfg.Depth*b.ackSlot)
+	if err != nil {
+		return err
+	}
+	prevRing, err := alloc.Alloc("prev-ring", rdma.WQESize)
+	if err != nil {
+		return err
+	}
+	loopRing, err := alloc.Alloc("loop-ring", 3*g.cfg.Depth*rdma.WQESize)
+	if err != nil {
+		return err
+	}
+	ackRing, err := alloc.Alloc("ack-ring", 2*g.cfg.Depth*rdma.WQESize)
+	if err != nil {
+		return err
+	}
+	b.ackOff = uint64(ackBuf.Off)
+	b.mirror, err = nic.RegisterMR(0, uint64(g.cfg.MirrorSize),
+		rdma.AccessRemoteRead|rdma.AccessRemoteWrite|rdma.AccessRemoteAtomic)
+	if err != nil {
+		return err
+	}
+	b.recvCQ = nic.CreateCQ()
+	b.loopCQ = nic.CreateCQ()
+	b.qpPrev, err = nic.CreateQP(rdma.QPConfig{
+		SendRingOff: uint64(prevRing.Off), SendSlots: 1,
+		SendCQ: nic.CreateCQ(), RecvCQ: b.recvCQ,
+	})
+	if err != nil {
+		return err
+	}
+	b.qpLoop, err = nic.CreateQP(rdma.QPConfig{
+		SendRingOff: uint64(loopRing.Off), SendSlots: loopRing.Len / rdma.WQESize,
+		SendCQ: b.loopCQ, RecvCQ: nic.CreateCQ(),
+	})
+	if err != nil {
+		return err
+	}
+	b.qpLoop.Connect(b.qpLoop)
+	b.qpAck, err = nic.CreateQP(rdma.QPConfig{
+		SendRingOff: uint64(ackRing.Off), SendSlots: ackRing.Len / rdma.WQESize,
+		SendCQ: nic.CreateCQ(), RecvCQ: nic.CreateCQ(),
+	})
+	return err
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,117 @@
+package hyperloop
+
+import (
+	"fmt"
+
+	"hyperloop/internal/rdma"
+	"hyperloop/internal/sim"
+)
+
+// GroupSize returns the member count (primary + backups).
+func (g *FanoutGroup) GroupSize() int { return 1 + g.numBackups() }
+
+// PrimaryNIC returns the coordinating member's NIC.
+func (g *FanoutGroup) PrimaryNIC() *rdma.NIC { return g.primary.nic }
+
+// ReplicaNIC returns member i's NIC (0 = primary, i>0 = backup i).
+func (g *FanoutGroup) ReplicaNIC(i int) *rdma.NIC {
+	if i == 0 {
+		return g.primary.nic
+	}
+	return g.backups[i-1].nic
+}
+
+// ClientNIC returns the client's NIC.
+func (g *FanoutGroup) ClientNIC() *rdma.NIC { return g.client }
+
+// Stats reports operations issued and completed.
+func (g *FanoutGroup) Stats() (issued, completed int64) { return g.opsIssued, g.opsCompleted }
+
+// InFlight returns operations awaiting their group ACK.
+func (g *FanoutGroup) InFlight() int { return len(g.inflight) }
+
+// WriteLocal stores data into the client's mirror.
+func (g *FanoutGroup) WriteLocal(off int, data []byte) error {
+	if off < 0 || off+len(data) > g.cfg.MirrorSize {
+		return fmt.Errorf("%w: local write outside mirror", ErrBadArgument)
+	}
+	return g.client.Memory().Write(off, data)
+}
+
+// ReadLocal returns a copy of the client's mirror range.
+func (g *FanoutGroup) ReadLocal(off, n int) ([]byte, error) {
+	if off < 0 || off+n > g.cfg.MirrorSize {
+		return nil, fmt.Errorf("%w: local read outside mirror", ErrBadArgument)
+	}
+	buf := make([]byte, n)
+	err := g.client.Memory().Read(off, buf)
+	return buf, err
+}
+
+// WriteAsync replicates [off, off+size) to all members in parallel
+// (gWRITE fan-out), optionally durable.
+func (g *FanoutGroup) WriteAsync(off, size int, durable bool) (*sim.Signal, error) {
+	op, err := g.issue(kindWrite, opParams{off: off, size: size, durable: durable})
+	if err != nil {
+		return nil, err
+	}
+	return op.sig, nil
+}
+
+// Write is the blocking form of WriteAsync.
+func (g *FanoutGroup) Write(f *sim.Fiber, off, size int, durable bool) error {
+	sig, err := g.WriteAsync(off, size, durable)
+	if err != nil {
+		return err
+	}
+	return f.Await(sig)
+}
+
+// MemcpyAsync copies src→dst locally on every member (gMEMCPY).
+func (g *FanoutGroup) MemcpyAsync(src, dst, size int, durable bool) (*sim.Signal, error) {
+	op, err := g.issue(kindMemcpy, opParams{src: src, dst: dst, size: size, durable: durable})
+	if err != nil {
+		return nil, err
+	}
+	return op.sig, nil
+}
+
+// Memcpy is the blocking form of MemcpyAsync.
+func (g *FanoutGroup) Memcpy(f *sim.Fiber, src, dst, size int, durable bool) error {
+	sig, err := g.MemcpyAsync(src, dst, size, durable)
+	if err != nil {
+		return err
+	}
+	return f.Await(sig)
+}
+
+// CAS performs a group compare-and-swap (gCAS). exec has one entry per
+// member (index 0 = primary); results are the original values observed.
+func (g *FanoutGroup) CAS(f *sim.Fiber, off int, old, new uint64, exec []bool) ([]uint64, error) {
+	op, err := g.issue(kindCAS, opParams{off: off, size: 8, old: old, new: new, exec: exec})
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Await(op.sig); err != nil {
+		return nil, err
+	}
+	return op.results, nil
+}
+
+// FlushAsync makes [off, off+size) durable on every member (gFLUSH).
+func (g *FanoutGroup) FlushAsync(off, size int) (*sim.Signal, error) {
+	op, err := g.issue(kindFlush, opParams{off: off, size: size})
+	if err != nil {
+		return nil, err
+	}
+	return op.sig, nil
+}
+
+// Flush is the blocking form of FlushAsync.
+func (g *FanoutGroup) Flush(f *sim.Fiber, off, size int) error {
+	sig, err := g.FlushAsync(off, size)
+	if err != nil {
+		return err
+	}
+	return f.Await(sig)
+}

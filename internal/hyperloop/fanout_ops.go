@@ -1,0 +1,407 @@
+package hyperloop
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"hyperloop/internal/rdma"
+	"hyperloop/internal/sim"
+)
+
+func (g *FanoutGroup) resultSlotAddr(seq uint64) uint64 {
+	return g.primary.resultOff + (seq%uint64(g.cfg.Depth))*uint64(g.primary.resultSlot)
+}
+
+func (g *FanoutGroup) stagingAddr(j int, seq uint64) uint64 {
+	b := maxInt(g.numBackups(), 1)
+	slot := (seq % uint64(g.cfg.Depth)) * uint64(b)
+	return g.primary.stagingOff + (slot+uint64(j))*uint64(g.primary.stagingSlot)
+}
+
+func (g *FanoutGroup) backupAckAddr(b *fanBackup, seq uint64) uint64 {
+	return b.ackOff + (seq%uint64(g.cfg.Depth))*uint64(b.ackSlot)
+}
+
+func (g *FanoutGroup) clientAckAddr(seq uint64) uint64 {
+	return g.ackOff + (seq%uint64(g.cfg.Depth))*uint64(g.resultSlotLen())
+}
+
+// armPrimary pre-posts the primary's chains and receives for op seq.
+func (g *FanoutGroup) armPrimary(seq uint64) error {
+	p := g.primary
+	b := g.numBackups()
+
+	// Metadata receive: descriptor blocks scatter into the pre-posted WQE
+	// slots; each backup's peeled metadata into its staging slot; the
+	// header into the result block.
+	loopRing, loopSlots := p.qpLoop.RingOff(), p.qpLoop.RingSlots()
+	sges := []rdma.SGE{
+		{Addr: rdma.DescAddr(loopRing, loopSlots, chainSlotA(seq)), Len: rdma.DescLen},
+		{Addr: rdma.DescAddr(loopRing, loopSlots, chainSlotB(seq)), Len: rdma.DescLen},
+	}
+	for j := 0; j < b; j++ {
+		ring, slots := p.qpFwd[j].RingOff(), p.qpFwd[j].RingSlots()
+		sges = append(sges,
+			rdma.SGE{Addr: rdma.DescAddr(ring, slots, chainSlotA(seq)), Len: rdma.DescLen},
+			rdma.SGE{Addr: rdma.DescAddr(ring, slots, chainSlotB(seq)), Len: rdma.DescLen},
+		)
+	}
+	for j := 0; j < b; j++ {
+		sges = append(sges, rdma.SGE{Addr: g.stagingAddr(j, seq), Len: uint64(fanBackupMetaLen)})
+	}
+	hdrAddr := g.resultSlotAddr(seq) + uint64((1+b)*resultEntry)
+	sges = append(sges, rdma.SGE{Addr: hdrAddr, Len: headerSize})
+
+	// Loopback chain.
+	if _, err := p.qpLoop.PostSend(rdma.WQE{
+		Opcode: rdma.OpWait, Imm: 1, Aux1: p.recvCQ.CQN(), Aux2: 2, WRID: seq,
+	}); err != nil {
+		return err
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := p.qpLoop.PostSendDeferred(rdma.WQE{
+			Opcode: rdma.OpNop, Flags: rdma.FlagSignaled, WRID: seq,
+		}); err != nil {
+			return err
+		}
+	}
+
+	// Per-backup forwarding chains, gated on the loopback completions via
+	// an absolute threshold so all of them fire off the same pair.
+	for j := 0; j < b; j++ {
+		if _, err := p.qpFwd[j].PostSend(rdma.WQE{
+			Opcode: rdma.OpWait, Flags: rdma.FlagWaitAbs,
+			Compare: 2 * (seq + 1), Aux1: p.loopCQ.CQN(), Aux2: 2, WRID: seq,
+		}); err != nil {
+			return err
+		}
+		for i := 0; i < 2; i++ {
+			if _, err := p.qpFwd[j].PostSendDeferred(rdma.WQE{Opcode: rdma.OpNop, WRID: seq}); err != nil {
+				return err
+			}
+		}
+	}
+
+	// The metadata receive is posted only after every chain slot exists,
+	// so a racing (RNR-delayed) delivery cannot scatter into slots that
+	// are about to be overwritten by placeholders.
+	p.qpClient.PostRecv(rdma.RecvWQE{WRID: seq, SGEs: sges})
+
+	// Ack receives from each backup: header + that backup's result field.
+	for j := 0; j < b; j++ {
+		p.qpAckIn[j].PostRecv(rdma.RecvWQE{
+			WRID: seq,
+			SGEs: []rdma.SGE{
+				{Addr: hdrAddr, Len: headerSize},
+				{Addr: g.resultSlotAddr(seq) + uint64((j+1)*resultEntry), Len: resultEntry},
+			},
+		})
+	}
+
+	// Group-ACK chain on the client QP: one absolute WAIT per backup (op
+	// seq is done at backup j once its ack CQ reaches seq+1), then the
+	// WRITE_WITH_IMM carrying the result block. With no backups the ACK
+	// gates directly on the primary's local completions.
+	if b == 0 {
+		if _, err := p.qpClient.PostSend(rdma.WQE{
+			Opcode: rdma.OpWait, Flags: rdma.FlagWaitAbs,
+			Compare: 2 * (seq + 1), Aux1: p.loopCQ.CQN(), WRID: seq,
+		}); err != nil {
+			return err
+		}
+	}
+	for j := 0; j < b; j++ {
+		if _, err := p.qpClient.PostSend(rdma.WQE{
+			Opcode: rdma.OpWait, Flags: rdma.FlagWaitAbs,
+			Compare: seq + 1, Aux1: p.ackCQs[j].CQN(), WRID: seq,
+		}); err != nil {
+			return err
+		}
+	}
+	_, err := p.qpClient.PostSend(rdma.WQE{
+		Opcode: rdma.OpWriteImm, Flags: rdma.FlagSignaled, WRID: seq, Imm: uint32(seq),
+		Local: g.resultSlotAddr(seq), Len: uint64(g.resultSlotLen()),
+		Remote: g.clientAckAddr(seq), Aux1: g.ackMR.RKey,
+	})
+	return err
+}
+
+// armBackup pre-posts one backup's chains and receive for op seq.
+func (g *FanoutGroup) armBackup(b *fanBackup, seq uint64) error {
+	loopRing, loopSlots := b.qpLoop.RingOff(), b.qpLoop.RingSlots()
+	ackAddr := g.backupAckAddr(b, seq)
+	if _, err := b.qpLoop.PostSend(rdma.WQE{
+		Opcode: rdma.OpWait, Imm: 1, Aux1: b.recvCQ.CQN(), Aux2: 2, WRID: seq,
+	}); err != nil {
+		return err
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := b.qpLoop.PostSendDeferred(rdma.WQE{
+			Opcode: rdma.OpNop, Flags: rdma.FlagSignaled, WRID: seq,
+		}); err != nil {
+			return err
+		}
+	}
+	// Ack chain: both local ops done → SEND [hdr][result] to the primary.
+	if _, err := b.qpAck.PostSend(rdma.WQE{
+		Opcode: rdma.OpWait, Imm: 2, Aux1: b.loopCQ.CQN(), WRID: seq,
+	}); err != nil {
+		return err
+	}
+	if _, err := b.qpAck.PostSend(rdma.WQE{
+		Opcode: rdma.OpSend, Flags: rdma.FlagSignaled, WRID: seq,
+		Local: ackAddr, Len: uint64(fanAckLen),
+	}); err != nil {
+		return err
+	}
+	b.qpPrev.PostRecv(rdma.RecvWQE{
+		WRID: seq,
+		SGEs: []rdma.SGE{
+			{Addr: rdma.DescAddr(loopRing, loopSlots, chainSlotA(seq)), Len: rdma.DescLen},
+			{Addr: rdma.DescAddr(loopRing, loopSlots, chainSlotB(seq)), Len: rdma.DescLen},
+			{Addr: ackAddr, Len: headerSize},
+		},
+	})
+	return nil
+}
+
+// installFanReArm wires the off-critical-path chain replenishment.
+func (g *FanoutGroup) installFanReArm() {
+	p := g.primary
+	p.qpClient.SendCQ().SetHandler(func(e rdma.CQE) {
+		seq := p.completed
+		p.completed++
+		g.k.After(g.cfg.ReArmDelay, func() {
+			if p.nic.Down() {
+				return
+			}
+			_ = g.armPrimary(seq + uint64(g.cfg.Depth))
+		})
+	})
+	for _, b := range g.backups {
+		b := b
+		b.qpAck.SendCQ().SetHandler(func(e rdma.CQE) {
+			seq := b.completed
+			b.completed++
+			g.k.After(g.cfg.ReArmDelay, func() {
+				if b.nic.Down() {
+					return
+				}
+				_ = g.armBackup(b, seq+uint64(g.cfg.Depth))
+			})
+		})
+	}
+}
+
+// localBlock builds the patched L1/L2 descriptors for one member.
+func (g *FanoutGroup) localBlock(buf []byte, seq uint64, kind opKind, p opParams,
+	mirrorRKey uint32, resultAddr uint64, memberIdx int) error {
+	l1 := rdma.WQE{Opcode: rdma.OpNop, Flags: rdma.FlagSignaled, WRID: seq}
+	switch {
+	case kind == kindCAS && p.exec[memberIdx]:
+		l1 = rdma.WQE{
+			Opcode: rdma.OpCAS, Flags: rdma.FlagSignaled, WRID: seq,
+			Local: resultAddr, Remote: uint64(p.off),
+			Compare: p.old, Swap: p.new, Aux1: mirrorRKey,
+		}
+	case kind == kindMemcpy:
+		l1 = rdma.WQE{
+			Opcode: rdma.OpMemcpy, Flags: rdma.FlagSignaled, WRID: seq,
+			Local: uint64(p.src), Len: uint64(p.size), Remote: uint64(p.dst),
+		}
+	}
+	l2 := rdma.WQE{Opcode: rdma.OpNop, Flags: rdma.FlagSignaled, WRID: seq}
+	switch {
+	case kind == kindWrite && p.durable:
+		l2 = rdma.WQE{
+			Opcode: rdma.OpFlush, Flags: rdma.FlagSignaled, WRID: seq,
+			Remote: uint64(p.off), Len: uint64(p.size), Aux1: mirrorRKey,
+		}
+	case kind == kindMemcpy && p.durable:
+		l2 = rdma.WQE{
+			Opcode: rdma.OpFlush, Flags: rdma.FlagSignaled, WRID: seq,
+			Remote: uint64(p.dst), Len: uint64(p.size), Aux1: mirrorRKey,
+		}
+	case kind == kindFlush:
+		l2 = rdma.WQE{
+			Opcode: rdma.OpFlush, Flags: rdma.FlagSignaled, WRID: seq,
+			Remote: uint64(p.off), Len: uint64(p.size), Aux1: mirrorRKey,
+		}
+	}
+	if err := l1.EncodeDesc(buf); err != nil {
+		return err
+	}
+	return l2.EncodeDesc(buf[rdma.DescLen:])
+}
+
+// issue builds and transmits one fan-out operation.
+func (g *FanoutGroup) issue(kind opKind, p opParams) (*pendingOp, error) {
+	if len(g.inflight) >= g.cfg.Depth-2 {
+		return nil, ErrTooManyInFlight
+	}
+	if p.off < 0 || p.off+p.size > g.cfg.MirrorSize {
+		return nil, fmt.Errorf("%w: range [%d,+%d) outside mirror", ErrBadArgument, p.off, p.size)
+	}
+	if kind == kindMemcpy && (p.src < 0 || p.src+p.size > g.cfg.MirrorSize ||
+		p.dst < 0 || p.dst+p.size > g.cfg.MirrorSize) {
+		return nil, fmt.Errorf("%w: memcpy range outside mirror", ErrBadArgument)
+	}
+	if kind == kindCAS && len(p.exec) != g.GroupSize() {
+		return nil, fmt.Errorf("%w: execute map must have %d entries", ErrBadArgument, g.GroupSize())
+	}
+	seq := g.nextSeq
+	g.nextSeq++
+	b := g.numBackups()
+
+	msg := make([]byte, g.metaLen())
+	pos := 0
+	// Primary's local block; its CAS result lands at result slot index 0.
+	if err := g.localBlock(msg[pos:], seq, kind, p,
+		g.primary.mirror.RKey, g.resultSlotAddr(seq), 0); err != nil {
+		return nil, err
+	}
+	pos += 2 * rdma.DescLen
+	// Forward chains: data WRITE + peeled metadata SEND per backup.
+	for j := 0; j < b; j++ {
+		f1 := rdma.WQE{Opcode: rdma.OpNop, WRID: seq}
+		if kind == kindWrite {
+			f1 = rdma.WQE{
+				Opcode: rdma.OpWrite, WRID: seq,
+				Local: uint64(p.off), Len: uint64(p.size),
+				Remote: uint64(p.off), Aux1: g.backups[j].mirror.RKey,
+			}
+		}
+		f2 := rdma.WQE{
+			Opcode: rdma.OpSend, WRID: seq,
+			Local: g.stagingAddr(j, seq), Len: uint64(fanBackupMetaLen),
+		}
+		if err := f1.EncodeDesc(msg[pos:]); err != nil {
+			return nil, err
+		}
+		if err := f2.EncodeDesc(msg[pos+rdma.DescLen:]); err != nil {
+			return nil, err
+		}
+		pos += 2 * rdma.DescLen
+	}
+	// Per-backup metadata: local block + header; backup j's CAS result
+	// lands in its ack slot's result field.
+	for j := 0; j < b; j++ {
+		bk := g.backups[j]
+		resultAddr := g.backupAckAddr(bk, seq) + headerSize
+		if err := g.localBlock(msg[pos:], seq, kind, p, bk.mirror.RKey, resultAddr, j+1); err != nil {
+			return nil, err
+		}
+		hdr := msg[pos+2*rdma.DescLen:]
+		binary.LittleEndian.PutUint64(hdr, seq)
+		binary.LittleEndian.PutUint32(hdr[8:], uint32(kind))
+		pos += fanBackupMetaLen
+	}
+	binary.LittleEndian.PutUint64(msg[pos:], seq)
+	binary.LittleEndian.PutUint32(msg[pos+8:], uint32(kind))
+
+	metaAddr := g.metaOff + (seq%uint64(g.cfg.Depth))*uint64(g.metaLen())
+	if err := g.client.Memory().Write(int(metaAddr), msg); err != nil {
+		return nil, err
+	}
+
+	op := &pendingOp{kind: kind, sig: sim.NewSignal(), started: g.k.Now()}
+	g.inflight[seq] = op
+	if g.cfg.OpTimeout > 0 {
+		op.timer = g.k.After(g.cfg.OpTimeout, func() {
+			if _, ok := g.inflight[seq]; ok {
+				delete(g.inflight, seq)
+				op.sig.Fire(ErrTimeout)
+			}
+		})
+	}
+
+	if err := g.applyLocally(kind, p); err != nil {
+		return nil, err
+	}
+
+	if kind == kindWrite {
+		if _, err := g.qpHead.PostSend(rdma.WQE{
+			Opcode: rdma.OpWrite, WRID: seq,
+			Local: uint64(p.off), Len: uint64(p.size),
+			Remote: uint64(p.off), Aux1: g.primary.mirror.RKey,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := g.qpHead.PostSend(rdma.WQE{
+		Opcode: rdma.OpSend, WRID: seq,
+		Local: metaAddr, Len: uint64(g.metaLen()),
+	}); err != nil {
+		return nil, err
+	}
+	g.opsIssued++
+	return op, nil
+}
+
+// applyLocally mirrors the operation on the client's own copy, exactly as
+// the chain group does.
+func (g *FanoutGroup) applyLocally(kind opKind, p opParams) error {
+	mem := g.client.Memory()
+	switch kind {
+	case kindWrite, kindFlush:
+		if p.durable || kind == kindFlush {
+			if _, err := mem.Flush(p.off, p.size); err != nil {
+				return err
+			}
+		}
+	case kindMemcpy:
+		data := make([]byte, p.size)
+		if err := mem.Read(p.src, data); err != nil {
+			return err
+		}
+		if err := mem.Write(p.dst, data); err != nil {
+			return err
+		}
+		if p.durable {
+			if _, err := mem.Flush(p.dst, p.size); err != nil {
+				return err
+			}
+		}
+	case kindCAS:
+		cur, err := mem.Slice(p.off, 8)
+		if err != nil {
+			return err
+		}
+		if binary.LittleEndian.Uint64(cur) == p.old {
+			var nb [8]byte
+			binary.LittleEndian.PutUint64(nb[:], p.new)
+			if err := mem.Write(p.off, nb[:]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// onAck resolves a completed fan-out operation.
+func (g *FanoutGroup) onAck(e rdma.CQE) {
+	g.qpAck.PostRecv(rdma.RecvWQE{})
+	slotAddr := int(g.clientAckAddr(uint64(e.Imm)))
+	buf := make([]byte, g.resultSlotLen())
+	if err := g.client.Memory().Read(slotAddr, buf); err != nil {
+		return
+	}
+	n := 1 + g.numBackups()
+	seq := binary.LittleEndian.Uint64(buf[n*resultEntry:])
+	op, ok := g.inflight[seq]
+	if !ok {
+		return
+	}
+	delete(g.inflight, seq)
+	if op.timer != nil {
+		op.timer.Stop()
+	}
+	if op.kind == kindCAS {
+		op.results = make([]uint64, n)
+		for j := 0; j < n; j++ {
+			op.results[j] = binary.LittleEndian.Uint64(buf[j*resultEntry:])
+		}
+	}
+	g.opsCompleted++
+	op.sig.Fire(nil)
+}

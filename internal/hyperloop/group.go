@@ -1,0 +1,359 @@
+package hyperloop
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"hyperloop/internal/nvm"
+	"hyperloop/internal/rdma"
+	"hyperloop/internal/sim"
+)
+
+// Config parameterizes a replication group.
+type Config struct {
+	// MirrorSize is the size of the replicated memory region. Offsets in
+	// group operations are relative to the mirror, which starts at device
+	// offset 0 on every member (client included).
+	MirrorSize int
+	// Depth is the maximum number of in-flight operations (pre-armed WQE
+	// chains per replica).
+	Depth int
+	// ReArmDelay is how long after an operation completes at a replica its
+	// control path re-arms the chain for sequence seq+Depth. It is off the
+	// critical path by construction.
+	ReArmDelay sim.Duration
+	// OpTimeout aborts an operation whose ACK does not arrive in time
+	// (0 disables). Needed when replicas fail.
+	OpTimeout sim.Duration
+}
+
+// DefaultConfig returns a config suitable for the benchmarks.
+func DefaultConfig(mirrorSize int) Config {
+	return Config{
+		MirrorSize: mirrorSize,
+		Depth:      32,
+		ReArmDelay: 5 * sim.Microsecond,
+	}
+}
+
+// Errors returned by group operations.
+var (
+	ErrTooManyInFlight = errors.New("hyperloop: operation window exceeded")
+	ErrTimeout         = errors.New("hyperloop: operation timed out")
+	ErrBadArgument     = errors.New("hyperloop: bad argument")
+)
+
+// opKind distinguishes the four primitives on the wire.
+type opKind uint32
+
+const (
+	kindWrite opKind = iota + 1
+	kindCAS
+	kindMemcpy
+	kindFlush
+)
+
+// replica holds one group member's NIC resources.
+type replica struct {
+	index  int // 1-based hop number
+	nic    *rdma.NIC
+	mirror *rdma.MemoryRegion
+
+	qpPrev *rdma.QP // from previous member (client for hop 1)
+	qpNext *rdma.QP // to next member (to client's ACK QP for the tail)
+	qpLoop *rdma.QP // loopback for local CAS/FLUSH
+
+	recvCQ *rdma.CQ // completions of metadata receives from prev
+	loopCQ *rdma.CQ // completions of L1/L2
+	nextCQ *rdma.CQ // completions of F2 (drives re-arm)
+
+	stagingOff  uint64
+	stagingSlot int
+	metaRest    int
+	isTail      bool
+
+	completed uint64 // ops completed at this replica (re-arm trigger)
+}
+
+// pendingOp tracks a client-issued operation awaiting its group ACK.
+type pendingOp struct {
+	kind    opKind
+	sig     *sim.Signal
+	results []uint64
+	timer   *sim.Timer
+	started sim.Time
+}
+
+// Group is a HyperLoop replication group: one client (transaction
+// coordinator) chained through one or more replicas.
+type Group struct {
+	fab *rdma.Fabric
+	k   *sim.Kernel
+	cfg Config
+	lay layout
+
+	client   *rdma.NIC
+	qpHead   *rdma.QP // client → first replica
+	qpAck    *rdma.QP // tail → client (group ACK)
+	ackMR    *rdma.MemoryRegion
+	ackOff   uint64
+	metaOff  uint64 // client-side metadata build buffers
+	replicas []*replica
+
+	nextSeq  uint64
+	inflight map[uint64]*pendingOp
+	reads    map[uint64]*sim.Signal // WRID → signal for one-sided reads
+	nextWRID uint64
+
+	opsIssued    int64
+	opsCompleted int64
+}
+
+// Setup builds a group over the given NICs. Every device must be large
+// enough for the mirror plus control structures; the mirror occupies
+// [0, MirrorSize) on every member so group offsets are uniform.
+func Setup(fab *rdma.Fabric, client *rdma.NIC, replicas []*rdma.NIC, cfg Config) (*Group, error) {
+	if len(replicas) == 0 {
+		return nil, fmt.Errorf("%w: need at least one replica", ErrBadArgument)
+	}
+	if cfg.MirrorSize <= 0 {
+		return nil, fmt.Errorf("%w: mirror size must be positive", ErrBadArgument)
+	}
+	if cfg.Depth <= 0 {
+		cfg.Depth = 32
+	}
+	// The ACK's imm carries only the low 32 bits of the sequence; a
+	// power-of-two depth keeps slot arithmetic consistent across the
+	// truncation.
+	for cfg.Depth&(cfg.Depth-1) != 0 {
+		cfg.Depth++
+	}
+	if cfg.ReArmDelay <= 0 {
+		cfg.ReArmDelay = 5 * sim.Microsecond
+	}
+	g := &Group{
+		fab:      fab,
+		k:        fab.Kernel(),
+		cfg:      cfg,
+		lay:      layout{groupSize: len(replicas), depth: cfg.Depth},
+		client:   client,
+		inflight: make(map[uint64]*pendingOp),
+		reads:    make(map[uint64]*sim.Signal),
+	}
+	if err := g.setupClient(); err != nil {
+		return nil, err
+	}
+	for i, nic := range replicas {
+		r, err := g.setupReplica(i+1, nic)
+		if err != nil {
+			return nil, fmt.Errorf("replica %d (%s): %w", i+1, nic.Host(), err)
+		}
+		g.replicas = append(g.replicas, r)
+	}
+	g.connect()
+	// Arm the full window on every replica and post the client's ACK
+	// receives. This is the only phase that involves member CPUs.
+	for _, r := range g.replicas {
+		for seq := uint64(0); seq < uint64(cfg.Depth); seq++ {
+			if err := g.arm(r, seq); err != nil {
+				return nil, fmt.Errorf("arm replica %d seq %d: %w", r.index, seq, err)
+			}
+		}
+		g.installReArm(r)
+	}
+	for i := 0; i < cfg.Depth; i++ {
+		g.qpAck.PostRecv(rdma.RecvWQE{})
+	}
+	g.qpAck.RecvCQ().SetHandler(g.onAck)
+	g.qpHead.SendCQ().SetHandler(g.onClientSendCQE)
+	return g, nil
+}
+
+// ringBytes returns the send-ring size for one chain ring.
+func (g *Group) ringBytes() int { return slotsPerOp * g.cfg.Depth * rdma.WQESize }
+
+func (g *Group) setupClient() error {
+	dev := g.client.Memory()
+	alloc := nvm.NewAllocator(dev)
+	mirror, err := alloc.Alloc("mirror", g.cfg.MirrorSize)
+	if err != nil {
+		return err
+	}
+	if mirror.Off != 0 {
+		return fmt.Errorf("hyperloop: client mirror not at offset 0")
+	}
+	meta, err := alloc.Alloc("meta", g.cfg.Depth*g.lay.metaLen(1))
+	if err != nil {
+		return err
+	}
+	ack, err := alloc.Alloc("ack", g.cfg.Depth*g.lay.ackSlotSize())
+	if err != nil {
+		return err
+	}
+	headRing, err := alloc.Alloc("head-ring", g.ringBytes()+2*rdma.WQESize)
+	if err != nil {
+		return err
+	}
+	ackRing, err := alloc.Alloc("ack-ring", rdma.WQESize)
+	if err != nil {
+		return err
+	}
+	g.metaOff = uint64(meta.Off)
+	g.ackOff = uint64(ack.Off)
+	g.ackMR, err = g.client.RegisterMR(uint64(ack.Off), uint64(ack.Len), rdma.AccessRemoteWrite)
+	if err != nil {
+		return err
+	}
+	g.qpHead, err = g.client.CreateQP(rdma.QPConfig{
+		SendRingOff: uint64(headRing.Off),
+		SendSlots:   headRing.Len / rdma.WQESize,
+		SendCQ:      g.client.CreateCQ(),
+		RecvCQ:      g.client.CreateCQ(),
+	})
+	if err != nil {
+		return err
+	}
+	g.qpAck, err = g.client.CreateQP(rdma.QPConfig{
+		SendRingOff: uint64(ackRing.Off),
+		SendSlots:   1,
+		SendCQ:      g.client.CreateCQ(),
+		RecvCQ:      g.client.CreateCQ(),
+	})
+	return err
+}
+
+func (g *Group) setupReplica(index int, nic *rdma.NIC) (*replica, error) {
+	r := &replica{index: index, nic: nic, isTail: index == g.lay.groupSize}
+	r.metaRest = g.lay.metaRest(index)
+	r.stagingSlot = r.metaRest
+	if r.stagingSlot == 0 {
+		r.stagingSlot = 1
+	}
+	dev := nic.Memory()
+	alloc := nvm.NewAllocator(dev)
+	mirror, err := alloc.Alloc("mirror", g.cfg.MirrorSize)
+	if err != nil {
+		return nil, err
+	}
+	if mirror.Off != 0 {
+		return nil, fmt.Errorf("hyperloop: mirror not at offset 0")
+	}
+	staging, err := alloc.Alloc("staging", g.cfg.Depth*r.stagingSlot)
+	if err != nil {
+		return nil, err
+	}
+	prevRing, err := alloc.Alloc("prev-ring", rdma.WQESize)
+	if err != nil {
+		return nil, err
+	}
+	nextRing, err := alloc.Alloc("next-ring", g.ringBytes())
+	if err != nil {
+		return nil, err
+	}
+	loopRing, err := alloc.Alloc("loop-ring", g.ringBytes())
+	if err != nil {
+		return nil, err
+	}
+	r.stagingOff = uint64(staging.Off)
+	// One MR with full rights covers the mirror: the previous hop WRITEs
+	// into it, the local loopback FLUSHes (0-byte READ) and CASes it.
+	r.mirror, err = nic.RegisterMR(0, uint64(g.cfg.MirrorSize),
+		rdma.AccessRemoteRead|rdma.AccessRemoteWrite|rdma.AccessRemoteAtomic)
+	if err != nil {
+		return nil, err
+	}
+	r.recvCQ = nic.CreateCQ()
+	r.loopCQ = nic.CreateCQ()
+	r.nextCQ = nic.CreateCQ()
+	r.qpPrev, err = nic.CreateQP(rdma.QPConfig{
+		SendRingOff: uint64(prevRing.Off), SendSlots: 1,
+		SendCQ: nic.CreateCQ(), RecvCQ: r.recvCQ,
+	})
+	if err != nil {
+		return nil, err
+	}
+	r.qpNext, err = nic.CreateQP(rdma.QPConfig{
+		SendRingOff: uint64(nextRing.Off), SendSlots: nextRing.Len / rdma.WQESize,
+		SendCQ: r.nextCQ, RecvCQ: nic.CreateCQ(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	r.qpLoop, err = nic.CreateQP(rdma.QPConfig{
+		SendRingOff: uint64(loopRing.Off), SendSlots: loopRing.Len / rdma.WQESize,
+		SendCQ: r.loopCQ, RecvCQ: nic.CreateCQ(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	r.qpLoop.Connect(r.qpLoop) // loopback
+	return r, nil
+}
+
+func (g *Group) connect() {
+	g.qpHead.Connect(g.replicas[0].qpPrev)
+	for i := 0; i < len(g.replicas)-1; i++ {
+		g.replicas[i].qpNext.Connect(g.replicas[i+1].qpPrev)
+	}
+	g.replicas[len(g.replicas)-1].qpNext.Connect(g.qpAck)
+}
+
+// GroupSize returns the number of replicas.
+func (g *Group) GroupSize() int { return len(g.replicas) }
+
+// ReplicaNIC returns the i-th (0-based) replica's NIC, e.g. for fault
+// injection or direct memory inspection in tests.
+func (g *Group) ReplicaNIC(i int) *rdma.NIC { return g.replicas[i].nic }
+
+// ClientNIC returns the client's NIC.
+func (g *Group) ClientNIC() *rdma.NIC { return g.client }
+
+// Stats reports operations issued and completed.
+func (g *Group) Stats() (issued, completed int64) { return g.opsIssued, g.opsCompleted }
+
+// InFlight returns the number of operations awaiting their group ACK.
+func (g *Group) InFlight() int { return len(g.inflight) }
+
+// onAck handles the tail's WRITE_WITH_IMM: it carries the op's result
+// block into the client's ACK buffer and its imm names the sequence.
+func (g *Group) onAck(e rdma.CQE) {
+	g.qpAck.PostRecv(rdma.RecvWQE{}) // keep the ACK window replenished
+	slot := uint64(e.Imm) % uint64(g.cfg.Depth)
+	slotAddr := int(g.ackOff) + int(slot)*g.lay.ackSlotSize()
+	buf := make([]byte, g.lay.ackSlotSize())
+	if err := g.client.Memory().Read(slotAddr, buf); err != nil {
+		return
+	}
+	seq := binary.LittleEndian.Uint64(buf[g.lay.resultsLen():])
+	op, ok := g.inflight[seq]
+	if !ok {
+		return // late ACK after timeout
+	}
+	delete(g.inflight, seq)
+	if op.timer != nil {
+		op.timer.Stop()
+	}
+	if op.kind == kindCAS {
+		op.results = make([]uint64, g.lay.groupSize)
+		for j := 0; j < g.lay.groupSize; j++ {
+			op.results[j] = binary.LittleEndian.Uint64(buf[j*resultEntry:])
+		}
+	}
+	g.opsCompleted++
+	op.sig.Fire(nil)
+}
+
+// onClientSendCQE resolves one-sided READs issued by the client.
+func (g *Group) onClientSendCQE(e rdma.CQE) {
+	sig, ok := g.reads[e.WRID]
+	if !ok {
+		return
+	}
+	delete(g.reads, e.WRID)
+	if e.Status != rdma.StatusSuccess {
+		sig.Fire(fmt.Errorf("hyperloop: read failed: %v", e.Status))
+		return
+	}
+	sig.Fire(nil)
+}

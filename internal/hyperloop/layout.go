@@ -1,0 +1,80 @@
+// Package hyperloop implements the HyperLoop group-based NIC-offloading
+// primitives (SIGCOMM 2018): gWRITE, gCAS, gMEMCPY and gFLUSH over a chain
+// of replicas, executed entirely by the NICs — replica CPUs are not on the
+// datapath.
+//
+// # How an operation flows
+//
+// Every replica pre-posts, per operation sequence number, two WAIT-gated
+// WQE chains plus one receive with a scatter list that points INTO the
+// pre-posted WQE slots:
+//
+//	loopback QP:  [WAIT(recvCQ,1) → L1 → L2]   local ops (CAS/MEMCPY/FLUSH)
+//	next-hop QP:  [WAIT(loopCQ,2) → F1 → F2]   forwarding (data WRITE + meta SEND)
+//
+// The client issues an operation by (optionally) RDMA-WRITEing data to the
+// first replica's mirror region and then SENDing a metadata message whose
+// head is the descriptor block for that hop. The receive scatter lands the
+// descriptor block directly in the pre-posted WQE slots (remote work
+// request manipulation, §4.1), and the remainder in a staging buffer. The
+// receive completion triggers the loopback WAIT, which enables the patched
+// local operations; their completions trigger the next-hop WAIT, which
+// enables the data WRITE and the metadata SEND toward the next replica.
+// The metadata message "peels" one descriptor block per hop. The tail's F2
+// is a WRITE_WITH_IMM carrying the accumulated gCAS result map back to the
+// client as the group ACK.
+//
+// No replica CPU cycle is spent between the client's doorbell and the
+// ACK: the package never touches the cpusim scheduler.
+package hyperloop
+
+import "hyperloop/internal/rdma"
+
+// Metadata message layout (all values little-endian):
+//
+//	hop i message = [descBlock_i][descBlock_{i+1}]...[descBlock_G][results 8*G][header 16]
+//
+// descBlock is four patchable WQE descriptors (L1, L2, F1, F2).
+const (
+	descBlockSize = 4 * rdma.DescLen // 224 bytes per hop
+	headerSize    = 16               // seq uint64, kind uint32, reserved uint32
+	resultEntry   = 8                // one uint64 per group member
+)
+
+// layout captures the derived sizes of a group with G replicas and a given
+// operation window (depth).
+type layout struct {
+	groupSize int
+	depth     int
+}
+
+// metaLen returns the metadata message size arriving at hop i (1-based).
+func (l layout) metaLen(i int) int {
+	return (l.groupSize-i+1)*descBlockSize + l.resultsLen() + headerSize
+}
+
+// metaRest returns the bytes forwarded past hop i: the arriving message
+// minus the descriptor block the hop consumed.
+func (l layout) metaRest(i int) int {
+	return l.metaLen(i) - descBlockSize
+}
+
+func (l layout) resultsLen() int { return l.groupSize * resultEntry }
+
+// ackSlotSize is what the tail delivers to the client: results + header.
+func (l layout) ackSlotSize() int { return l.resultsLen() + headerSize }
+
+// resultOffsetInStaging returns where node j's (1-based) gCAS result lives
+// within hop i's staging slot (which holds metaRest(i) bytes:
+// descs for hops i+1..G, then results, then header).
+func (l layout) resultOffsetInStaging(i, j int) int {
+	return (l.groupSize-i)*descBlockSize + (j-1)*resultEntry
+}
+
+// chain slot indices within a ring for operation seq: each op consumes
+// three slots (WAIT, op A, op B) on both the loopback and next-hop rings.
+const slotsPerOp = 3
+
+func chainWaitSlot(seq uint64) uint64 { return seq * slotsPerOp }
+func chainSlotA(seq uint64) uint64    { return seq*slotsPerOp + 1 }
+func chainSlotB(seq uint64) uint64    { return seq*slotsPerOp + 2 }

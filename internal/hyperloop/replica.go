@@ -1,0 +1,83 @@
+package hyperloop
+
+import (
+	"hyperloop/internal/rdma"
+)
+
+// arm pre-posts the WQE chains and the scatter receive for operation seq on
+// replica r. This runs on the replica's control path (setup and lazy
+// re-arm) — never on the datapath.
+func (g *Group) arm(r *replica, seq uint64) error {
+	// Receive for the metadata SEND from the previous hop: the first four
+	// scatter elements land the descriptor block directly inside the
+	// pre-posted WQE slots (remote work request manipulation); the rest
+	// goes to this op's staging slot for forwarding.
+	loopRing, loopSlots := r.qpLoop.RingOff(), r.qpLoop.RingSlots()
+	nextRing, nextSlots := r.qpNext.RingOff(), r.qpNext.RingSlots()
+	stagingAddr := r.stagingOff + (seq%uint64(g.cfg.Depth))*uint64(r.stagingSlot)
+	defer r.qpPrev.PostRecv(rdma.RecvWQE{ // posted after the chain slots exist
+		WRID: seq,
+		SGEs: []rdma.SGE{
+			{Addr: rdma.DescAddr(loopRing, loopSlots, chainSlotA(seq)), Len: rdma.DescLen},
+			{Addr: rdma.DescAddr(loopRing, loopSlots, chainSlotB(seq)), Len: rdma.DescLen},
+			{Addr: rdma.DescAddr(nextRing, nextSlots, chainSlotA(seq)), Len: rdma.DescLen},
+			{Addr: rdma.DescAddr(nextRing, nextSlots, chainSlotB(seq)), Len: rdma.DescLen},
+			{Addr: stagingAddr, Len: uint64(r.metaRest)},
+		},
+	})
+
+	// Loopback chain: WAIT for the metadata receive, then run the two
+	// (to-be-patched) local operations. Placeholders are signaled NOPs so
+	// the chain also works if a patch leaves them untouched.
+	if _, err := r.qpLoop.PostSend(rdma.WQE{
+		Opcode: rdma.OpWait, Imm: 1, Aux1: r.recvCQ.CQN(), Aux2: 2, WRID: seq,
+	}); err != nil {
+		return err
+	}
+	if _, err := r.qpLoop.PostSendDeferred(rdma.WQE{
+		Opcode: rdma.OpNop, Flags: rdma.FlagSignaled, WRID: seq,
+	}); err != nil {
+		return err
+	}
+	if _, err := r.qpLoop.PostSendDeferred(rdma.WQE{
+		Opcode: rdma.OpNop, Flags: rdma.FlagSignaled, WRID: seq,
+	}); err != nil {
+		return err
+	}
+
+	// Next-hop chain: WAIT for both local completions, then forward the
+	// data WRITE (F1) and the peeled metadata SEND (F2).
+	if _, err := r.qpNext.PostSend(rdma.WQE{
+		Opcode: rdma.OpWait, Imm: 2, Aux1: r.loopCQ.CQN(), Aux2: 2, WRID: seq,
+	}); err != nil {
+		return err
+	}
+	if _, err := r.qpNext.PostSendDeferred(rdma.WQE{
+		Opcode: rdma.OpNop, WRID: seq,
+	}); err != nil {
+		return err
+	}
+	if _, err := r.qpNext.PostSendDeferred(rdma.WQE{
+		Opcode: rdma.OpNop, Flags: rdma.FlagSignaled, WRID: seq,
+	}); err != nil {
+		return err
+	}
+	return nil
+}
+
+// installReArm wires the lazy control-path re-arm: each completed F2 on
+// the next-hop CQ means one operation has fully passed through this
+// replica, so the chain for sequence seq+Depth can be posted. The re-arm
+// runs ReArmDelay later and costs no datapath time.
+func (g *Group) installReArm(r *replica) {
+	r.nextCQ.SetHandler(func(e rdma.CQE) {
+		seq := r.completed
+		r.completed++
+		g.k.After(g.cfg.ReArmDelay, func() {
+			if r.nic.Down() {
+				return
+			}
+			_ = g.arm(r, seq+uint64(g.cfg.Depth))
+		})
+	})
+}

@@ -1,0 +1,516 @@
+// Package naive implements the Naive-RDMA baseline of the HyperLoop paper
+// (§6, "Baseline RDMA implementation"): the same group primitives and chain
+// topology as package hyperloop, but with replica CPUs on the critical
+// path. Each replica runs a handler process in the cpusim scheduler that
+// receives, parses, executes and forwards every operation. Under
+// multi-tenant CPU load this is where the paper's tail latency comes from.
+//
+// Three replica modes mirror the paper's comparisons:
+//   - ModeEvent: the handler sleeps and is woken per completion event
+//     (interrupt-driven; pays scheduling delay per hop).
+//   - ModePolling: the handler busy-polls but shares cores with other
+//     tenants (the contended polling of Fig. 11).
+//   - ModePinned: the handler busy-polls on a dedicated core (best case;
+//     economically non-viable at scale, per §2.2).
+package naive
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"hyperloop/internal/cpusim"
+	"hyperloop/internal/nvm"
+	"hyperloop/internal/rdma"
+	"hyperloop/internal/sim"
+)
+
+// Mode selects how replica CPUs pick up completions.
+type Mode int
+
+// Replica CPU modes.
+const (
+	ModeEvent Mode = iota + 1
+	ModePolling
+	ModePinned
+)
+
+// String returns the mode mnemonic.
+func (m Mode) String() string {
+	switch m {
+	case ModeEvent:
+		return "event"
+	case ModePolling:
+		return "polling"
+	case ModePinned:
+		return "pinned"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Config parameterizes the baseline group.
+type Config struct {
+	MirrorSize int
+	Depth      int
+	Mode       Mode
+	// RecvHandlerCPU is CPU time to take the completion, read the CQ and
+	// parse the message.
+	RecvHandlerCPU sim.Duration
+	// PostCPU is CPU time per work request posted (forwarding, reposting
+	// receives).
+	PostCPU sim.Duration
+	// CPUCopyBps is memcpy bandwidth when the CPU executes log records.
+	CPUCopyBps float64
+	// FlushBase/FlushPerLine model CPU-driven persistence (clwb+fence).
+	FlushBase    sim.Duration
+	FlushPerLine sim.Duration
+	// WakePenalty/WakePenaltyProb model per-tenant cgroup-share placement
+	// on wakeup (see cpusim.Proc.SetWakePenalty); zero values give the
+	// handler full CFS sleeper credit.
+	WakePenalty     sim.Duration
+	WakePenaltyProb float64
+	// OpTimeout aborts operations without an ACK (0 disables).
+	OpTimeout sim.Duration
+}
+
+// DefaultConfig returns calibrated costs (DESIGN.md).
+func DefaultConfig(mirrorSize int) Config {
+	return Config{
+		MirrorSize:     mirrorSize,
+		Depth:          32,
+		Mode:           ModeEvent,
+		RecvHandlerCPU: 2 * sim.Microsecond,
+		PostCPU:        1 * sim.Microsecond,
+		CPUCopyBps:     6 * 8e9,
+		FlushBase:      700 * sim.Nanosecond,
+		FlushPerLine:   1 * sim.Nanosecond,
+	}
+}
+
+// Errors returned by group operations.
+var (
+	ErrTooManyInFlight = errors.New("naive: operation window exceeded")
+	ErrTimeout         = errors.New("naive: operation timed out")
+	ErrBadArgument     = errors.New("naive: bad argument")
+)
+
+type opKind uint32
+
+const (
+	kindWrite opKind = iota + 1
+	kindCAS
+	kindMemcpy
+	kindFlush
+)
+
+// Wire format: header (80 bytes) followed by the result map (8*G bytes).
+const headerSize = 80
+
+type opHeader struct {
+	seq     uint64
+	kind    opKind
+	off     uint64
+	size    uint64
+	src     uint64
+	dst     uint64
+	old     uint64
+	swp     uint64
+	execMap uint64
+	durable bool
+}
+
+func (h *opHeader) encode(buf []byte) {
+	binary.LittleEndian.PutUint64(buf[0:], h.seq)
+	binary.LittleEndian.PutUint32(buf[8:], uint32(h.kind))
+	var d uint32
+	if h.durable {
+		d = 1
+	}
+	binary.LittleEndian.PutUint32(buf[12:], d)
+	binary.LittleEndian.PutUint64(buf[16:], h.off)
+	binary.LittleEndian.PutUint64(buf[24:], h.size)
+	binary.LittleEndian.PutUint64(buf[32:], h.src)
+	binary.LittleEndian.PutUint64(buf[40:], h.dst)
+	binary.LittleEndian.PutUint64(buf[48:], h.old)
+	binary.LittleEndian.PutUint64(buf[56:], h.swp)
+	binary.LittleEndian.PutUint64(buf[64:], h.execMap)
+}
+
+func decodeHeader(buf []byte) opHeader {
+	return opHeader{
+		seq:     binary.LittleEndian.Uint64(buf[0:]),
+		kind:    opKind(binary.LittleEndian.Uint32(buf[8:])),
+		durable: binary.LittleEndian.Uint32(buf[12:]) == 1,
+		off:     binary.LittleEndian.Uint64(buf[16:]),
+		size:    binary.LittleEndian.Uint64(buf[24:]),
+		src:     binary.LittleEndian.Uint64(buf[32:]),
+		dst:     binary.LittleEndian.Uint64(buf[40:]),
+		old:     binary.LittleEndian.Uint64(buf[48:]),
+		swp:     binary.LittleEndian.Uint64(buf[56:]),
+		execMap: binary.LittleEndian.Uint64(buf[64:]),
+	}
+}
+
+type replica struct {
+	index  int
+	nic    *rdma.NIC
+	proc   *cpusim.Proc
+	mirror *rdma.MemoryRegion
+	qpPrev *rdma.QP
+	qpNext *rdma.QP
+
+	stagingOff  uint64
+	stagingSlot int
+	isTail      bool
+	g           *Group
+}
+
+type pendingOp struct {
+	kind    opKind
+	sig     *sim.Signal
+	results []uint64
+	timer   *sim.Timer
+}
+
+// Group is the Naive-RDMA replication chain.
+type Group struct {
+	fab *rdma.Fabric
+	k   *sim.Kernel
+	cfg Config
+
+	client   *rdma.NIC
+	qpHead   *rdma.QP
+	qpAck    *rdma.QP
+	ackMR    *rdma.MemoryRegion
+	ackOff   uint64
+	metaOff  uint64
+	replicas []*replica
+
+	groupSize int
+	nextSeq   uint64
+	inflight  map[uint64]*pendingOp
+
+	opsIssued    int64
+	opsCompleted int64
+}
+
+func (g *Group) msgLen() int { return headerSize + 8*g.groupSize }
+
+// Setup builds a naive chain. scheds[i] is the CPU scheduler of the
+// machine hosting replicas[i]; the replica's handler becomes one more
+// tenant process there.
+func Setup(fab *rdma.Fabric, client *rdma.NIC, replicas []*rdma.NIC,
+	scheds []*cpusim.Scheduler, cfg Config) (*Group, error) {
+	if len(replicas) == 0 || len(scheds) != len(replicas) {
+		return nil, fmt.Errorf("%w: need replicas with matching schedulers", ErrBadArgument)
+	}
+	if cfg.MirrorSize <= 0 {
+		return nil, fmt.Errorf("%w: mirror size must be positive", ErrBadArgument)
+	}
+	if cfg.Depth <= 0 {
+		cfg.Depth = 32
+	}
+	// ACK imm truncates seq to 32 bits; power-of-two depth keeps slot
+	// arithmetic consistent (see hyperloop.Setup).
+	for cfg.Depth&(cfg.Depth-1) != 0 {
+		cfg.Depth++
+	}
+	if cfg.Mode == 0 {
+		cfg.Mode = ModeEvent
+	}
+	g := &Group{
+		fab:       fab,
+		k:         fab.Kernel(),
+		cfg:       cfg,
+		client:    client,
+		groupSize: len(replicas),
+		inflight:  make(map[uint64]*pendingOp),
+	}
+	if err := g.setupClient(); err != nil {
+		return nil, err
+	}
+	for i, nic := range replicas {
+		r, err := g.setupReplica(i+1, nic, scheds[i])
+		if err != nil {
+			return nil, fmt.Errorf("replica %d: %w", i+1, err)
+		}
+		g.replicas = append(g.replicas, r)
+	}
+	g.qpHead.Connect(g.replicas[0].qpPrev)
+	for i := 0; i < len(g.replicas)-1; i++ {
+		g.replicas[i].qpNext.Connect(g.replicas[i+1].qpPrev)
+	}
+	g.replicas[len(g.replicas)-1].qpNext.Connect(g.qpAck)
+
+	for _, r := range g.replicas {
+		for i := 0; i < cfg.Depth; i++ {
+			r.postRecv(uint64(i))
+		}
+		r.install()
+	}
+	for i := 0; i < cfg.Depth; i++ {
+		g.qpAck.PostRecv(rdma.RecvWQE{})
+	}
+	g.qpAck.RecvCQ().SetHandler(g.onAck)
+	return g, nil
+}
+
+func (g *Group) setupClient() error {
+	alloc := nvm.NewAllocator(g.client.Memory())
+	mirror, err := alloc.Alloc("mirror", g.cfg.MirrorSize)
+	if err != nil {
+		return err
+	}
+	if mirror.Off != 0 {
+		return fmt.Errorf("naive: client mirror not at offset 0")
+	}
+	meta, err := alloc.Alloc("meta", g.cfg.Depth*g.msgLen())
+	if err != nil {
+		return err
+	}
+	ack, err := alloc.Alloc("ack", g.cfg.Depth*g.msgLen())
+	if err != nil {
+		return err
+	}
+	headRing, err := alloc.Alloc("head-ring", 2*g.cfg.Depth*rdma.WQESize)
+	if err != nil {
+		return err
+	}
+	ackRing, err := alloc.Alloc("ack-ring", rdma.WQESize)
+	if err != nil {
+		return err
+	}
+	g.metaOff = uint64(meta.Off)
+	g.ackOff = uint64(ack.Off)
+	g.ackMR, err = g.client.RegisterMR(uint64(ack.Off), uint64(ack.Len), rdma.AccessRemoteWrite)
+	if err != nil {
+		return err
+	}
+	g.qpHead, err = g.client.CreateQP(rdma.QPConfig{
+		SendRingOff: uint64(headRing.Off), SendSlots: headRing.Len / rdma.WQESize,
+		SendCQ: g.client.CreateCQ(), RecvCQ: g.client.CreateCQ(),
+	})
+	if err != nil {
+		return err
+	}
+	g.qpAck, err = g.client.CreateQP(rdma.QPConfig{
+		SendRingOff: uint64(ackRing.Off), SendSlots: 1,
+		SendCQ: g.client.CreateCQ(), RecvCQ: g.client.CreateCQ(),
+	})
+	return err
+}
+
+func (g *Group) setupReplica(index int, nic *rdma.NIC, sched *cpusim.Scheduler) (*replica, error) {
+	r := &replica{index: index, nic: nic, g: g} // isTail finalized in install
+	alloc := nvm.NewAllocator(nic.Memory())
+	mirror, err := alloc.Alloc("mirror", g.cfg.MirrorSize)
+	if err != nil {
+		return nil, err
+	}
+	if mirror.Off != 0 {
+		return nil, fmt.Errorf("naive: mirror not at offset 0")
+	}
+	staging, err := alloc.Alloc("staging", g.cfg.Depth*g.msgLen())
+	if err != nil {
+		return nil, err
+	}
+	prevRing, err := alloc.Alloc("prev-ring", rdma.WQESize)
+	if err != nil {
+		return nil, err
+	}
+	nextRing, err := alloc.Alloc("next-ring", 2*g.cfg.Depth*rdma.WQESize)
+	if err != nil {
+		return nil, err
+	}
+	r.stagingOff = uint64(staging.Off)
+	r.stagingSlot = g.msgLen()
+	r.mirror, err = nic.RegisterMR(0, uint64(g.cfg.MirrorSize),
+		rdma.AccessRemoteRead|rdma.AccessRemoteWrite|rdma.AccessRemoteAtomic)
+	if err != nil {
+		return nil, err
+	}
+	r.qpPrev, err = nic.CreateQP(rdma.QPConfig{
+		SendRingOff: uint64(prevRing.Off), SendSlots: 1,
+		SendCQ: nic.CreateCQ(), RecvCQ: nic.CreateCQ(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	r.qpNext, err = nic.CreateQP(rdma.QPConfig{
+		SendRingOff: uint64(nextRing.Off), SendSlots: nextRing.Len / rdma.WQESize,
+		SendCQ: nic.CreateCQ(), RecvCQ: nic.CreateCQ(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	r.proc = sched.NewProc(fmt.Sprintf("replica-%d", index))
+	if g.cfg.WakePenalty > 0 {
+		r.proc.SetWakePenalty(g.cfg.WakePenaltyProb, g.cfg.WakePenalty)
+	}
+	switch g.cfg.Mode {
+	case ModePinned:
+		r.proc.Pin()
+	case ModePolling:
+		// Busy-poll loop sharing cores with the other tenants.
+		r.proc.SetRefill(func() sim.Duration { return 50 * sim.Microsecond })
+	}
+	return r, nil
+}
+
+// install wires the replica's completion handler: every metadata receive
+// becomes CPU work for the replica process.
+func (r *replica) install() {
+	r.isTail = r.index == len(r.g.replicas)
+	r.qpPrev.RecvCQ().SetHandler(func(e rdma.CQE) {
+		if e.Status != rdma.StatusSuccess {
+			return
+		}
+		slot := e.WRID
+		r.proc.Submit(r.handlerCost(slot), func() { r.handle(slot) })
+	})
+}
+
+// handlerCost computes the CPU time the handler will consume for the
+// message in the given staging slot — parse + execute + forward posts.
+func (r *replica) handlerCost(slot uint64) sim.Duration {
+	g := r.g
+	cost := g.cfg.RecvHandlerCPU
+	buf := r.stagingBuf(slot)
+	h := decodeHeader(buf)
+	switch h.kind {
+	case kindWrite:
+		if h.durable {
+			cost += g.flushCost(int(h.size))
+		}
+	case kindMemcpy:
+		cost += sim.Duration(float64(h.size) * 8 / g.cfg.CPUCopyBps * 1e9)
+		if h.durable {
+			cost += g.flushCost(int(h.size))
+		}
+	case kindCAS:
+		cost += 200 * sim.Nanosecond
+	case kindFlush:
+		cost += g.flushCost(int(h.size))
+	}
+	// Forward posts (data + meta, or the ACK) and the receive repost.
+	cost += 3 * g.cfg.PostCPU
+	return cost
+}
+
+func (g *Group) flushCost(size int) sim.Duration {
+	return g.cfg.FlushBase + sim.Duration(size/64+1)*g.cfg.FlushPerLine
+}
+
+func (r *replica) stagingBuf(slot uint64) []byte {
+	g := r.g
+	addr := int(r.stagingOff) + int(slot%uint64(g.cfg.Depth))*r.stagingSlot
+	buf := make([]byte, g.msgLen())
+	_ = r.nic.Memory().Read(addr, buf)
+	return buf
+}
+
+func (r *replica) stagingAddr(slot uint64) uint64 {
+	return r.stagingOff + (slot%uint64(r.g.cfg.Depth))*uint64(r.stagingSlot)
+}
+
+// handle runs on the replica CPU once scheduled: execute the operation
+// locally, update the result map, forward down the chain, repost the
+// receive. This is precisely the work HyperLoop moves onto the NIC.
+func (r *replica) handle(slot uint64) {
+	g := r.g
+	mem := r.nic.Memory()
+	buf := r.stagingBuf(slot)
+	h := decodeHeader(buf)
+
+	switch h.kind {
+	case kindWrite:
+		if h.durable {
+			_, _ = mem.Flush(int(h.off), int(h.size))
+		}
+	case kindMemcpy:
+		data := make([]byte, h.size)
+		if err := mem.Read(int(h.src), data); err == nil {
+			_ = mem.Write(int(h.dst), data)
+		}
+		if h.durable {
+			_, _ = mem.Flush(int(h.dst), int(h.size))
+		}
+	case kindCAS:
+		if h.execMap&(1<<uint(r.index-1)) != 0 {
+			cur, err := mem.Slice(int(h.off), 8)
+			if err == nil {
+				orig := binary.LittleEndian.Uint64(cur)
+				if orig == h.old {
+					var nb [8]byte
+					binary.LittleEndian.PutUint64(nb[:], h.swp)
+					_ = mem.Write(int(h.off), nb[:])
+				}
+				binary.LittleEndian.PutUint64(buf[headerSize+(r.index-1)*8:], orig)
+			}
+		}
+	case kindFlush:
+		_, _ = mem.Flush(int(h.off), int(h.size))
+	}
+
+	// Write the (possibly updated) message back to staging for forwarding.
+	_ = mem.Write(int(r.stagingAddr(slot)), buf)
+
+	if r.isTail {
+		_, _ = r.qpNext.PostSend(rdma.WQE{
+			Opcode: rdma.OpWriteImm, WRID: h.seq, Imm: uint32(h.seq),
+			Local: r.stagingAddr(slot), Len: uint64(g.msgLen()),
+			Remote: g.ackAddr(h.seq), Aux1: g.ackMR.RKey,
+		})
+	} else {
+		next := g.replicas[r.index] // hop index+1, 0-based index
+		if h.kind == kindWrite {
+			_, _ = r.qpNext.PostSend(rdma.WQE{
+				Opcode: rdma.OpWrite, WRID: h.seq,
+				Local: h.off, Len: h.size, Remote: h.off, Aux1: next.mirror.RKey,
+			})
+		}
+		_, _ = r.qpNext.PostSend(rdma.WQE{
+			Opcode: rdma.OpSend, WRID: h.seq,
+			Local: r.stagingAddr(slot), Len: uint64(g.msgLen()),
+		})
+	}
+	r.postRecv(slot + uint64(g.cfg.Depth))
+}
+
+func (r *replica) postRecv(slot uint64) {
+	r.qpPrev.PostRecv(rdma.RecvWQE{
+		WRID: slot,
+		SGEs: []rdma.SGE{{Addr: r.stagingAddr(slot), Len: uint64(r.g.msgLen())}},
+	})
+}
+
+func (g *Group) ackAddr(seq uint64) uint64 {
+	return g.ackOff + (seq%uint64(g.cfg.Depth))*uint64(g.msgLen())
+}
+
+func (g *Group) onAck(e rdma.CQE) {
+	g.qpAck.PostRecv(rdma.RecvWQE{})
+	slotAddr := int(g.ackAddr(uint64(e.Imm)))
+	buf := make([]byte, g.msgLen())
+	if err := g.client.Memory().Read(slotAddr, buf); err != nil {
+		return
+	}
+	h := decodeHeader(buf)
+	op, ok := g.inflight[h.seq]
+	if !ok {
+		return
+	}
+	delete(g.inflight, h.seq)
+	if op.timer != nil {
+		op.timer.Stop()
+	}
+	if op.kind == kindCAS {
+		op.results = make([]uint64, len(g.replicas))
+		for j := range g.replicas {
+			op.results[j] = binary.LittleEndian.Uint64(buf[headerSize+j*8:])
+		}
+	}
+	g.opsCompleted++
+	op.sig.Fire(nil)
+}

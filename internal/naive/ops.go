@@ -1,0 +1,218 @@
+package naive
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"hyperloop/internal/rdma"
+	"hyperloop/internal/sim"
+)
+
+// issue transmits one operation down the chain: optional data WRITE, then
+// the metadata SEND that wakes the first replica's handler process.
+func (g *Group) issue(kind opKind, h opHeader) (*pendingOp, error) {
+	if len(g.inflight) >= g.cfg.Depth-2 {
+		return nil, ErrTooManyInFlight
+	}
+	if int(h.off) < 0 || int(h.off+h.size) > g.cfg.MirrorSize {
+		return nil, fmt.Errorf("%w: range outside mirror", ErrBadArgument)
+	}
+	if kind == kindMemcpy && (int(h.src+h.size) > g.cfg.MirrorSize || int(h.dst+h.size) > g.cfg.MirrorSize) {
+		return nil, fmt.Errorf("%w: memcpy range outside mirror", ErrBadArgument)
+	}
+	seq := g.nextSeq
+	g.nextSeq++
+	h.seq = seq
+	h.kind = kind
+
+	msg := make([]byte, g.msgLen())
+	h.encode(msg)
+	metaAddr := g.metaOff + (seq%uint64(g.cfg.Depth))*uint64(g.msgLen())
+	if err := g.client.Memory().Write(int(metaAddr), msg); err != nil {
+		return nil, err
+	}
+
+	op := &pendingOp{kind: kind, sig: sim.NewSignal()}
+	g.inflight[seq] = op
+	if g.cfg.OpTimeout > 0 {
+		op.timer = g.k.After(g.cfg.OpTimeout, func() {
+			if _, ok := g.inflight[seq]; ok {
+				delete(g.inflight, seq)
+				op.sig.Fire(ErrTimeout)
+			}
+		})
+	}
+
+	// Mirror the operation on the client's own copy (same semantics as
+	// package hyperloop, so the two backends are interchangeable).
+	switch kind {
+	case kindWrite, kindFlush:
+		if h.durable || kind == kindFlush {
+			if _, err := g.client.Memory().Flush(int(h.off), int(h.size)); err != nil {
+				return nil, err
+			}
+		}
+	case kindMemcpy:
+		data := make([]byte, h.size)
+		if err := g.client.Memory().Read(int(h.src), data); err != nil {
+			return nil, err
+		}
+		if err := g.client.Memory().Write(int(h.dst), data); err != nil {
+			return nil, err
+		}
+		if h.durable {
+			if _, err := g.client.Memory().Flush(int(h.dst), int(h.size)); err != nil {
+				return nil, err
+			}
+		}
+	case kindCAS:
+		cur, err := g.client.Memory().Slice(int(h.off), 8)
+		if err != nil {
+			return nil, err
+		}
+		if binary.LittleEndian.Uint64(cur) == h.old {
+			var nb [8]byte
+			binary.LittleEndian.PutUint64(nb[:], h.swp)
+			if err := g.client.Memory().Write(int(h.off), nb[:]); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	if kind == kindWrite {
+		if _, err := g.qpHead.PostSend(rdma.WQE{
+			Opcode: rdma.OpWrite, WRID: seq,
+			Local: h.off, Len: h.size, Remote: h.off, Aux1: g.replicas[0].mirror.RKey,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := g.qpHead.PostSend(rdma.WQE{
+		Opcode: rdma.OpSend, WRID: seq,
+		Local: metaAddr, Len: uint64(g.msgLen()),
+	}); err != nil {
+		return nil, err
+	}
+	g.opsIssued++
+	return op, nil
+}
+
+// GroupSize returns the number of replicas.
+func (g *Group) GroupSize() int { return len(g.replicas) }
+
+// ReplicaNIC returns the i-th (0-based) replica's NIC.
+func (g *Group) ReplicaNIC(i int) *rdma.NIC { return g.replicas[i].nic }
+
+// ClientNIC returns the client's NIC.
+func (g *Group) ClientNIC() *rdma.NIC { return g.client }
+
+// Stats reports operations issued and completed.
+func (g *Group) Stats() (issued, completed int64) { return g.opsIssued, g.opsCompleted }
+
+// InFlight returns operations awaiting their ACK.
+func (g *Group) InFlight() int { return len(g.inflight) }
+
+// WriteLocal stores data into the client's mirror.
+func (g *Group) WriteLocal(off int, data []byte) error {
+	if off < 0 || off+len(data) > g.cfg.MirrorSize {
+		return fmt.Errorf("%w: local write outside mirror", ErrBadArgument)
+	}
+	return g.client.Memory().Write(off, data)
+}
+
+// ReadLocal returns a copy of the client's mirror range.
+func (g *Group) ReadLocal(off, n int) ([]byte, error) {
+	if off < 0 || off+n > g.cfg.MirrorSize {
+		return nil, fmt.Errorf("%w: local read outside mirror", ErrBadArgument)
+	}
+	buf := make([]byte, n)
+	err := g.client.Memory().Read(off, buf)
+	return buf, err
+}
+
+// WriteAsync replicates [off, off+size) to all replicas.
+func (g *Group) WriteAsync(off, size int, durable bool) (*sim.Signal, error) {
+	op, err := g.issue(kindWrite, opHeader{off: uint64(off), size: uint64(size), durable: durable})
+	if err != nil {
+		return nil, err
+	}
+	return op.sig, nil
+}
+
+// Write is the blocking form of WriteAsync.
+func (g *Group) Write(f *sim.Fiber, off, size int, durable bool) error {
+	sig, err := g.WriteAsync(off, size, durable)
+	if err != nil {
+		return err
+	}
+	return f.Await(sig)
+}
+
+// MemcpyAsync copies src→dst locally on every member.
+func (g *Group) MemcpyAsync(src, dst, size int, durable bool) (*sim.Signal, error) {
+	op, err := g.issue(kindMemcpy, opHeader{
+		src: uint64(src), dst: uint64(dst), size: uint64(size), durable: durable,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return op.sig, nil
+}
+
+// Memcpy is the blocking form of MemcpyAsync.
+func (g *Group) Memcpy(f *sim.Fiber, src, dst, size int, durable bool) error {
+	sig, err := g.MemcpyAsync(src, dst, size, durable)
+	if err != nil {
+		return err
+	}
+	return f.Await(sig)
+}
+
+// CAS performs a group compare-and-swap with an execute map.
+func (g *Group) CAS(f *sim.Fiber, off int, old, new uint64, exec []bool) ([]uint64, error) {
+	if len(exec) != len(g.replicas) {
+		return nil, fmt.Errorf("%w: execute map must have %d entries", ErrBadArgument, len(g.replicas))
+	}
+	var mask uint64
+	for i, e := range exec {
+		if e {
+			mask |= 1 << uint(i)
+		}
+	}
+	op, err := g.issue(kindCAS, opHeader{off: uint64(off), size: 8, old: old, swp: new, execMap: mask})
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Await(op.sig); err != nil {
+		return nil, err
+	}
+	return op.results, nil
+}
+
+// FlushAsync makes [off, off+size) durable on every member.
+func (g *Group) FlushAsync(off, size int) (*sim.Signal, error) {
+	op, err := g.issue(kindFlush, opHeader{off: uint64(off), size: uint64(size)})
+	if err != nil {
+		return nil, err
+	}
+	return op.sig, nil
+}
+
+// Flush is the blocking form of FlushAsync.
+func (g *Group) Flush(f *sim.Fiber, off, size int) error {
+	sig, err := g.FlushAsync(off, size)
+	if err != nil {
+		return err
+	}
+	return f.Await(sig)
+}
+
+// ReplicaHandlerCPU sums the CPU time consumed by the replica handler
+// processes — the cost HyperLoop eliminates from the datapath.
+func (g *Group) ReplicaHandlerCPU() sim.Duration {
+	var d sim.Duration
+	for _, r := range g.replicas {
+		d += r.proc.TotalCPU()
+	}
+	return d
+}

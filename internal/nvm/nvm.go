@@ -1,0 +1,310 @@
+// Package nvm models byte-addressable non-volatile memory fronted by a
+// volatile cache, as used by HyperLoop's durability argument (§4.2,
+// gFLUSH).
+//
+// RDMA WRITEs land in the NIC/CPU cache hierarchy and are acknowledged
+// before reaching the durable medium; only a flush (triggered in HyperLoop
+// by a 0-byte RDMA READ to the same address) commits them. A power failure
+// (Crash) discards everything unflushed. The model keeps two images — the
+// current view and the durable image — plus the set of dirty ranges, so
+// tests can assert exactly which bytes survive a crash.
+package nvm
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Device is one node's non-volatile memory. It is used only from
+// simulation (single-threaded) context and needs no locking.
+type Device struct {
+	name    string
+	current []byte // latest view: durable bytes overlaid with cached writes
+	durable []byte // what survives a crash
+	dirty   RangeSet
+
+	writes  int64
+	flushes int64
+	crashes int64
+}
+
+// NewDevice returns a zeroed device of the given size in bytes.
+func NewDevice(name string, size int) *Device {
+	return &Device{
+		name:    name,
+		current: make([]byte, size),
+		durable: make([]byte, size),
+	}
+}
+
+// Name returns the device's diagnostic name.
+func (d *Device) Name() string { return d.name }
+
+// Size returns the capacity in bytes.
+func (d *Device) Size() int { return len(d.current) }
+
+// BoundsError reports an out-of-range access.
+type BoundsError struct {
+	Device string
+	Off    int
+	Len    int
+	Size   int
+}
+
+func (e *BoundsError) Error() string {
+	return fmt.Sprintf("nvm %s: access [%d, %d) out of bounds (size %d)",
+		e.Device, e.Off, e.Off+e.Len, e.Size)
+}
+
+func (d *Device) check(off, n int) error {
+	if off < 0 || n < 0 || off+n > len(d.current) {
+		return &BoundsError{Device: d.name, Off: off, Len: n, Size: len(d.current)}
+	}
+	return nil
+}
+
+// Write stores data at off in the volatile cache. The bytes are visible to
+// subsequent reads but not durable until flushed.
+func (d *Device) Write(off int, data []byte) error {
+	if err := d.check(off, len(data)); err != nil {
+		return err
+	}
+	copy(d.current[off:], data)
+	if len(data) > 0 {
+		d.dirty.Insert(off, off+len(data))
+		d.writes++
+	}
+	return nil
+}
+
+// Read copies the current view (durable + cached) at off into buf.
+func (d *Device) Read(off int, buf []byte) error {
+	if err := d.check(off, len(buf)); err != nil {
+		return err
+	}
+	copy(buf, d.current[off:])
+	return nil
+}
+
+// ReadDurable copies only the durable image at off into buf; it shows what
+// a post-crash recovery would see.
+func (d *Device) ReadDurable(off int, buf []byte) error {
+	if err := d.check(off, len(buf)); err != nil {
+		return err
+	}
+	copy(buf, d.durable[off:])
+	return nil
+}
+
+// Slice returns a read-only view of the current image; callers must not
+// retain or mutate it across simulation steps.
+func (d *Device) Slice(off, n int) ([]byte, error) {
+	if err := d.check(off, n); err != nil {
+		return nil, err
+	}
+	return d.current[off : off+n : off+n], nil
+}
+
+// Flush commits all dirty bytes intersecting [off, off+n) to the durable
+// image and returns the number of bytes flushed.
+func (d *Device) Flush(off, n int) (int, error) {
+	if err := d.check(off, n); err != nil {
+		return 0, err
+	}
+	flushed := 0
+	for _, r := range d.dirty.Intersect(off, off+n) {
+		copy(d.durable[r.Lo:r.Hi], d.current[r.Lo:r.Hi])
+		flushed += r.Hi - r.Lo
+	}
+	d.dirty.Remove(off, off+n)
+	if flushed > 0 {
+		d.flushes++
+	}
+	return flushed, nil
+}
+
+// FlushAll commits every dirty byte.
+func (d *Device) FlushAll() int {
+	n, _ := d.Flush(0, len(d.current))
+	return n
+}
+
+// Crash simulates power loss: all unflushed writes are discarded and the
+// current view reverts to the durable image.
+func (d *Device) Crash() {
+	copy(d.current, d.durable)
+	d.dirty.Clear()
+	d.crashes++
+}
+
+// DirtyBytes returns the number of bytes written but not yet durable.
+func (d *Device) DirtyBytes() int { return d.dirty.Total() }
+
+// Stats reports operation counts.
+func (d *Device) Stats() (writes, flushes, crashes int64) {
+	return d.writes, d.flushes, d.crashes
+}
+
+// Region is a named sub-range of a device, carved by an Allocator.
+type Region struct {
+	Dev  *Device
+	Name string
+	Off  int
+	Len  int
+}
+
+// Write stores data at region-relative offset off.
+func (r *Region) Write(off int, data []byte) error {
+	if off < 0 || off+len(data) > r.Len {
+		return &BoundsError{Device: r.Dev.name + "/" + r.Name, Off: off, Len: len(data), Size: r.Len}
+	}
+	return r.Dev.Write(r.Off+off, data)
+}
+
+// Read copies the current view at region-relative offset off into buf.
+func (r *Region) Read(off int, buf []byte) error {
+	if off < 0 || off+len(buf) > r.Len {
+		return &BoundsError{Device: r.Dev.name + "/" + r.Name, Off: off, Len: len(buf), Size: r.Len}
+	}
+	return r.Dev.Read(r.Off+off, buf)
+}
+
+// Flush commits region-relative [off, off+n).
+func (r *Region) Flush(off, n int) (int, error) {
+	if off < 0 || off+n > r.Len {
+		return 0, &BoundsError{Device: r.Dev.name + "/" + r.Name, Off: off, Len: n, Size: r.Len}
+	}
+	return r.Dev.Flush(r.Off+off, n)
+}
+
+// Allocator carves non-overlapping regions out of a device.
+type Allocator struct {
+	dev  *Device
+	next int
+}
+
+// NewAllocator returns an allocator over dev starting at offset 0.
+func NewAllocator(dev *Device) *Allocator { return &Allocator{dev: dev} }
+
+// Alloc reserves n bytes (aligned to 64) and returns the region.
+func (a *Allocator) Alloc(name string, n int) (*Region, error) {
+	const align = 64
+	off := (a.next + align - 1) &^ (align - 1)
+	if off+n > a.dev.Size() {
+		return nil, fmt.Errorf("nvm %s: out of space allocating %q (%d bytes, %d free)",
+			a.dev.name, name, n, a.dev.Size()-off)
+	}
+	a.next = off + n
+	return &Region{Dev: a.dev, Name: name, Off: off, Len: n}, nil
+}
+
+// Remaining returns the unallocated byte count.
+func (a *Allocator) Remaining() int {
+	const align = 64
+	off := (a.next + align - 1) &^ (align - 1)
+	if off > a.dev.Size() {
+		return 0
+	}
+	return a.dev.Size() - off
+}
+
+// Range is a half-open interval [Lo, Hi).
+type Range struct {
+	Lo, Hi int
+}
+
+// RangeSet maintains sorted, disjoint, non-adjacent ranges. The zero value
+// is an empty set.
+type RangeSet struct {
+	rs []Range
+}
+
+// Insert adds [lo, hi), merging with overlapping or adjacent ranges.
+func (s *RangeSet) Insert(lo, hi int) {
+	if hi <= lo {
+		return
+	}
+	i := sort.Search(len(s.rs), func(i int) bool { return s.rs[i].Hi >= lo })
+	j := i
+	for j < len(s.rs) && s.rs[j].Lo <= hi {
+		if s.rs[j].Lo < lo {
+			lo = s.rs[j].Lo
+		}
+		if s.rs[j].Hi > hi {
+			hi = s.rs[j].Hi
+		}
+		j++
+	}
+	s.rs = append(s.rs[:i], append([]Range{{lo, hi}}, s.rs[j:]...)...)
+}
+
+// Remove deletes [lo, hi) from the set, splitting ranges as needed.
+func (s *RangeSet) Remove(lo, hi int) {
+	if hi <= lo {
+		return
+	}
+	var out []Range
+	for _, r := range s.rs {
+		if r.Hi <= lo || r.Lo >= hi {
+			out = append(out, r)
+			continue
+		}
+		if r.Lo < lo {
+			out = append(out, Range{r.Lo, lo})
+		}
+		if r.Hi > hi {
+			out = append(out, Range{hi, r.Hi})
+		}
+	}
+	s.rs = out
+}
+
+// Intersect returns the portions of the set inside [lo, hi).
+func (s *RangeSet) Intersect(lo, hi int) []Range {
+	var out []Range
+	for _, r := range s.rs {
+		l, h := r.Lo, r.Hi
+		if l < lo {
+			l = lo
+		}
+		if h > hi {
+			h = hi
+		}
+		if l < h {
+			out = append(out, Range{l, h})
+		}
+	}
+	return out
+}
+
+// Contains reports whether every byte of [lo, hi) is in the set.
+func (s *RangeSet) Contains(lo, hi int) bool {
+	if hi <= lo {
+		return true
+	}
+	for _, r := range s.rs {
+		if r.Lo <= lo && hi <= r.Hi {
+			return true
+		}
+	}
+	return false
+}
+
+// Total returns the number of bytes covered.
+func (s *RangeSet) Total() int {
+	n := 0
+	for _, r := range s.rs {
+		n += r.Hi - r.Lo
+	}
+	return n
+}
+
+// Clear empties the set.
+func (s *RangeSet) Clear() { s.rs = nil }
+
+// Ranges returns a copy of the ranges in ascending order.
+func (s *RangeSet) Ranges() []Range {
+	out := make([]Range, len(s.rs))
+	copy(out, s.rs)
+	return out
+}

@@ -1,0 +1,332 @@
+package nvm
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	d := NewDevice("test", 1024)
+	data := []byte("hello, nvm")
+	if err := d.Write(100, data); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	buf := make([]byte, len(data))
+	if err := d.Read(100, buf); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if !bytes.Equal(buf, data) {
+		t.Fatalf("read back %q, want %q", buf, data)
+	}
+}
+
+func TestDurabilityAcrossCrash(t *testing.T) {
+	d := NewDevice("test", 1024)
+	flushed := []byte("durable")
+	lost := []byte("volatile")
+	if err := d.Write(0, flushed); err != nil {
+		t.Fatal(err)
+	}
+	if n := d.FlushAll(); n != len(flushed) {
+		t.Fatalf("flushed %d bytes, want %d", n, len(flushed))
+	}
+	if err := d.Write(100, lost); err != nil {
+		t.Fatal(err)
+	}
+	if d.DirtyBytes() != len(lost) {
+		t.Fatalf("dirty = %d, want %d", d.DirtyBytes(), len(lost))
+	}
+
+	d.Crash()
+
+	buf := make([]byte, len(flushed))
+	if err := d.Read(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, flushed) {
+		t.Fatalf("flushed data lost: %q", buf)
+	}
+	buf2 := make([]byte, len(lost))
+	if err := d.Read(100, buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf2, make([]byte, len(lost))) {
+		t.Fatalf("unflushed data survived crash: %q", buf2)
+	}
+	if d.DirtyBytes() != 0 {
+		t.Fatal("dirty bytes after crash")
+	}
+}
+
+func TestPartialFlush(t *testing.T) {
+	d := NewDevice("test", 1024)
+	if err := d.Write(0, bytes.Repeat([]byte{0xAA}, 200)); err != nil {
+		t.Fatal(err)
+	}
+	// Flush only the first 100 bytes.
+	if n, err := d.Flush(0, 100); err != nil || n != 100 {
+		t.Fatalf("flush: n=%d err=%v", n, err)
+	}
+	d.Crash()
+	buf := make([]byte, 200)
+	if err := d.Read(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if buf[i] != 0xAA {
+			t.Fatalf("flushed byte %d lost", i)
+		}
+	}
+	for i := 100; i < 200; i++ {
+		if buf[i] != 0 {
+			t.Fatalf("unflushed byte %d survived", i)
+		}
+	}
+}
+
+func TestReadDurableSeesOnlyFlushed(t *testing.T) {
+	d := NewDevice("test", 64)
+	if err := d.Write(0, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 3)
+	if err := d.ReadDurable(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, []byte{0, 0, 0}) {
+		t.Fatalf("durable view shows unflushed data: %v", buf)
+	}
+	d.FlushAll()
+	if err := d.ReadDurable(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, []byte{1, 2, 3}) {
+		t.Fatalf("durable view missing flushed data: %v", buf)
+	}
+}
+
+func TestBoundsErrors(t *testing.T) {
+	d := NewDevice("test", 64)
+	var be *BoundsError
+	if err := d.Write(60, make([]byte, 8)); !errors.As(err, &be) {
+		t.Fatalf("write OOB err = %v, want BoundsError", err)
+	}
+	if err := d.Read(-1, make([]byte, 1)); !errors.As(err, &be) {
+		t.Fatalf("negative read err = %v", err)
+	}
+	if _, err := d.Flush(0, 100); !errors.As(err, &be) {
+		t.Fatalf("flush OOB err = %v", err)
+	}
+	if _, err := d.Slice(63, 2); !errors.As(err, &be) {
+		t.Fatalf("slice OOB err = %v", err)
+	}
+	if be.Error() == "" {
+		t.Fatal("empty error message")
+	}
+}
+
+func TestRegionOffsets(t *testing.T) {
+	d := NewDevice("test", 4096)
+	a := NewAllocator(d)
+	r1, err := a.Alloc("log", 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := a.Alloc("data", 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Off < r1.Off+r1.Len {
+		t.Fatalf("regions overlap: %+v %+v", r1, r2)
+	}
+	if r2.Off%64 != 0 {
+		t.Fatalf("region not aligned: %d", r2.Off)
+	}
+	if err := r1.Write(0, []byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.Write(0, []byte("xyz")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 3)
+	if err := r1.Read(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "abc" {
+		t.Fatalf("region read = %q", buf)
+	}
+	var be *BoundsError
+	if err := r1.Write(999, []byte("ab")); !errors.As(err, &be) {
+		t.Fatalf("region overflow err = %v", err)
+	}
+	if _, err := r1.Flush(0, 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllocatorExhaustion(t *testing.T) {
+	d := NewDevice("test", 128)
+	a := NewAllocator(d)
+	if _, err := a.Alloc("big", 100); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Alloc("more", 100); err == nil {
+		t.Fatal("expected out-of-space error")
+	}
+	if a.Remaining() > 128 {
+		t.Fatalf("remaining = %d", a.Remaining())
+	}
+}
+
+func TestRangeSetInsertMerge(t *testing.T) {
+	var s RangeSet
+	s.Insert(10, 20)
+	s.Insert(30, 40)
+	s.Insert(15, 35) // bridges both
+	rs := s.Ranges()
+	if len(rs) != 1 || rs[0] != (Range{10, 40}) {
+		t.Fatalf("ranges = %v, want [{10 40}]", rs)
+	}
+	s.Insert(40, 50) // adjacent merges
+	rs = s.Ranges()
+	if len(rs) != 1 || rs[0] != (Range{10, 50}) {
+		t.Fatalf("ranges = %v, want [{10 50}]", rs)
+	}
+	if s.Total() != 40 {
+		t.Fatalf("total = %d", s.Total())
+	}
+}
+
+func TestRangeSetRemoveSplit(t *testing.T) {
+	var s RangeSet
+	s.Insert(0, 100)
+	s.Remove(40, 60)
+	rs := s.Ranges()
+	if len(rs) != 2 || rs[0] != (Range{0, 40}) || rs[1] != (Range{60, 100}) {
+		t.Fatalf("ranges = %v", rs)
+	}
+	if s.Contains(30, 50) {
+		t.Fatal("Contains includes removed span")
+	}
+	if !s.Contains(0, 40) || !s.Contains(60, 100) {
+		t.Fatal("Contains misses present span")
+	}
+}
+
+func TestRangeSetIntersect(t *testing.T) {
+	var s RangeSet
+	s.Insert(0, 10)
+	s.Insert(20, 30)
+	got := s.Intersect(5, 25)
+	if len(got) != 2 || got[0] != (Range{5, 10}) || got[1] != (Range{20, 25}) {
+		t.Fatalf("intersect = %v", got)
+	}
+	if s.Intersect(12, 18) != nil {
+		t.Fatal("intersect of gap should be empty")
+	}
+}
+
+func TestRangeSetEmptyOps(t *testing.T) {
+	var s RangeSet
+	s.Insert(5, 5)  // empty insert
+	s.Remove(0, 10) // remove from empty
+	if s.Total() != 0 {
+		t.Fatal("empty ops changed set")
+	}
+	if !s.Contains(3, 3) {
+		t.Fatal("empty interval not contained")
+	}
+}
+
+// TestRangeSetModelProperty checks the RangeSet against a naive boolean
+// array model under random insert/remove sequences.
+func TestRangeSetModelProperty(t *testing.T) {
+	type op struct {
+		Insert bool
+		Lo, Hi uint8
+	}
+	f := func(ops []op) bool {
+		var s RangeSet
+		model := make([]bool, 256)
+		for _, o := range ops {
+			lo, hi := int(o.Lo), int(o.Hi)
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			if o.Insert {
+				s.Insert(lo, hi)
+				for i := lo; i < hi; i++ {
+					model[i] = true
+				}
+			} else {
+				s.Remove(lo, hi)
+				for i := lo; i < hi; i++ {
+					model[i] = false
+				}
+			}
+		}
+		total := 0
+		for _, b := range model {
+			if b {
+				total++
+			}
+		}
+		if s.Total() != total {
+			return false
+		}
+		// Every reported range must be covered in the model, maximal and sorted.
+		prev := -1
+		for _, r := range s.Ranges() {
+			if r.Lo <= prev || r.Hi <= r.Lo {
+				return false
+			}
+			prev = r.Hi
+			for i := r.Lo; i < r.Hi; i++ {
+				if !model[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrashWriteFlushProperty(t *testing.T) {
+	// Property: after any sequence of writes with some flushed, a crash
+	// preserves exactly the flushed prefix state.
+	f := func(vals []uint8) bool {
+		d := NewDevice("p", 256)
+		for i, v := range vals {
+			off := int(v)
+			_ = d.Write(off%200, []byte{v})
+			if i%3 == 0 {
+				_, _ = d.Flush(off%200, 1)
+			}
+		}
+		snapshot := make([]byte, 256)
+		_ = d.ReadDurable(0, snapshot)
+		d.Crash()
+		after := make([]byte, 256)
+		_ = d.Read(0, after)
+		return bytes.Equal(snapshot, after)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStats(t *testing.T) {
+	d := NewDevice("s", 64)
+	_ = d.Write(0, []byte{1})
+	d.FlushAll()
+	d.Crash()
+	w, f, c := d.Stats()
+	if w != 1 || f != 1 || c != 1 {
+		t.Fatalf("stats = %d,%d,%d", w, f, c)
+	}
+}

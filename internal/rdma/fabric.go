@@ -1,0 +1,117 @@
+package rdma
+
+import (
+	"fmt"
+
+	"hyperloop/internal/nvm"
+	"hyperloop/internal/sim"
+)
+
+// Config sets the fabric's timing model. Defaults are calibrated to a
+// 56 Gbps ConnectX-3-class deployment (DESIGN.md, "Calibration constants").
+type Config struct {
+	// PropDelay is the one-way propagation + switching delay per message.
+	PropDelay sim.Duration
+	// BandwidthBps is the link bandwidth in bits per second.
+	BandwidthBps float64
+	// JitterFrac scales random jitter on each message's latency (±frac).
+	JitterFrac float64
+	// WQEProc is the NIC's per-WQE processing cost.
+	WQEProc sim.Duration
+	// HeaderBytes models per-message transport header overhead.
+	HeaderBytes int
+	// CacheFlushBase is the fixed cost of flushing the NIC cache to NVM.
+	CacheFlushBase sim.Duration
+	// CacheFlushPerLine is the added cost per dirty 64-byte line flushed.
+	CacheFlushPerLine sim.Duration
+	// MemCopyBps is local memory bandwidth for MEMCPY, bytes per second.
+	MemCopyBps float64
+	// RNRRetryDelay is the back-off before retrying a SEND that found no
+	// posted receive (receiver-not-ready).
+	RNRRetryDelay sim.Duration
+}
+
+// DefaultConfig returns the calibrated configuration.
+func DefaultConfig() Config {
+	return Config{
+		PropDelay:         1 * sim.Microsecond,
+		BandwidthBps:      56e9,
+		JitterFrac:        0.05,
+		WQEProc:           250 * sim.Nanosecond,
+		HeaderBytes:       30,
+		CacheFlushBase:    700 * sim.Nanosecond,
+		CacheFlushPerLine: 1 * sim.Nanosecond,
+		MemCopyBps:        8 * 8e9, // ~8 GB/s
+		RNRRetryDelay:     10 * sim.Microsecond,
+	}
+}
+
+// Fabric connects NICs through a latency/bandwidth-modelled network. All
+// message delivery is FIFO per (source QP → destination QP) direction,
+// matching reliable-connection ordering guarantees that HyperLoop's WAIT
+// chains depend on (a WRITE posted before a SEND lands before it).
+type Fabric struct {
+	k    *sim.Kernel
+	cfg  Config
+	rng  *sim.RNG
+	nics map[string]*NIC
+
+	// bytesOnWire counts total payload+header bytes transmitted.
+	bytesOnWire int64
+	msgs        int64
+}
+
+// NewFabric creates a fabric driven by kernel k.
+func NewFabric(k *sim.Kernel, cfg Config) *Fabric {
+	if cfg.BandwidthBps <= 0 {
+		cfg.BandwidthBps = DefaultConfig().BandwidthBps
+	}
+	if cfg.MemCopyBps <= 0 {
+		cfg.MemCopyBps = DefaultConfig().MemCopyBps
+	}
+	if cfg.RNRRetryDelay <= 0 {
+		cfg.RNRRetryDelay = DefaultConfig().RNRRetryDelay
+	}
+	return &Fabric{
+		k:    k,
+		cfg:  cfg,
+		rng:  k.RNG().Fork(),
+		nics: make(map[string]*NIC),
+	}
+}
+
+// Kernel returns the driving simulation kernel.
+func (f *Fabric) Kernel() *sim.Kernel { return f.k }
+
+// Config returns the fabric's timing configuration.
+func (f *Fabric) Config() Config { return f.cfg }
+
+// AddNIC attaches a NIC named host whose host memory is dev.
+func (f *Fabric) AddNIC(host string, dev *nvm.Device) (*NIC, error) {
+	if _, ok := f.nics[host]; ok {
+		return nil, fmt.Errorf("rdma: duplicate NIC %q", host)
+	}
+	n := &NIC{
+		fabric: f,
+		host:   host,
+		mem:    dev,
+		mrs:    make(map[uint32]*MemoryRegion),
+		qps:    make(map[uint32]*QP),
+		cqs:    make(map[uint32]*CQ),
+	}
+	f.nics[host] = n
+	return n, nil
+}
+
+// NIC returns the NIC named host, or nil.
+func (f *Fabric) NIC(host string) *NIC { return f.nics[host] }
+
+// xmitTime returns serialization delay for a payload of size bytes.
+func (f *Fabric) xmitTime(size int) sim.Duration {
+	bytes := float64(size + f.cfg.HeaderBytes)
+	sec := bytes * 8 / f.cfg.BandwidthBps
+	return sim.Duration(sec * 1e9)
+}
+
+// Stats reports fabric-wide transmission totals.
+func (f *Fabric) Stats() (messages, bytes int64) { return f.msgs, f.bytesOnWire }

@@ -1,0 +1,278 @@
+package rdma
+
+import (
+	"fmt"
+
+	"hyperloop/internal/nvm"
+	"hyperloop/internal/sim"
+)
+
+// Access flags for memory regions.
+type Access uint8
+
+// Memory-region access rights.
+const (
+	AccessLocalWrite Access = 1 << iota
+	AccessRemoteRead
+	AccessRemoteWrite
+	AccessRemoteAtomic
+)
+
+// MemoryRegion is a registered window of host memory. Remote operations
+// name it by RKey and are bounds- and rights-checked against it.
+type MemoryRegion struct {
+	RKey   uint32
+	Off    uint64
+	Len    uint64
+	Rights Access
+}
+
+// Contains reports whether [addr, addr+n) lies inside the region.
+func (m *MemoryRegion) Contains(addr, n uint64) bool {
+	return addr >= m.Off && addr+n <= m.Off+m.Len && addr+n >= addr
+}
+
+// CQE is a completion-queue entry.
+type CQE struct {
+	QPN     uint32
+	WRID    uint64
+	Op      Opcode
+	Status  Status
+	Imm     uint32
+	ByteLen int
+	At      sim.Time
+}
+
+// Status reports how a work request completed.
+type Status uint8
+
+// Completion statuses.
+const (
+	StatusSuccess Status = iota + 1
+	StatusRemoteAccessError
+	StatusLocalError
+	StatusFlushed // QP torn down / host down
+)
+
+// String returns the status mnemonic.
+func (s Status) String() string {
+	switch s {
+	case StatusSuccess:
+		return "OK"
+	case StatusRemoteAccessError:
+		return "REMOTE_ACCESS_ERR"
+	case StatusLocalError:
+		return "LOCAL_ERR"
+	case StatusFlushed:
+		return "FLUSHED"
+	default:
+		return fmt.Sprintf("Status(%d)", uint8(s))
+	}
+}
+
+// CQ is a completion queue. Completions accumulate for polling; an optional
+// handler is invoked on each completion (modelling an interrupt/event
+// channel); WAIT WQEs subscribe to the cumulative completion count.
+type CQ struct {
+	nic     *NIC
+	cqn     uint32
+	entries []CQE
+
+	total        int64 // cumulative completions ever pushed
+	waitConsumed int64 // completions consumed by WAIT WQEs
+
+	handler func(CQE)
+	waiters []func() // WAIT WQEs re-kicked on each push
+}
+
+// CQN returns the completion queue number.
+func (c *CQ) CQN() uint32 { return c.cqn }
+
+// SetHandler installs an event handler invoked on every completion. This is
+// the interrupt path the Naive-RDMA baseline uses; HyperLoop's datapath
+// never needs it.
+func (c *CQ) SetHandler(h func(CQE)) { c.handler = h }
+
+// Poll removes and returns up to max pending completions.
+func (c *CQ) Poll(max int) []CQE {
+	if max <= 0 || len(c.entries) == 0 {
+		return nil
+	}
+	if max > len(c.entries) {
+		max = len(c.entries)
+	}
+	out := make([]CQE, max)
+	copy(out, c.entries[:max])
+	c.entries = append(c.entries[:0], c.entries[max:]...)
+	return out
+}
+
+// Depth returns the number of unpolled completions.
+func (c *CQ) Depth() int { return len(c.entries) }
+
+// Total returns the cumulative number of completions ever delivered.
+func (c *CQ) Total() int64 { return c.total }
+
+func (c *CQ) push(e CQE) {
+	e.At = c.nic.fabric.k.Now()
+	c.entries = append(c.entries, e)
+	c.total++
+	if c.handler != nil {
+		c.handler(e)
+	}
+	ws := c.waiters
+	c.waiters = nil
+	for _, w := range ws {
+		w()
+	}
+}
+
+func (c *CQ) subscribe(fn func()) { c.waiters = append(c.waiters, fn) }
+
+// NIC is one host's RDMA network interface. Its WQE engine runs entirely in
+// simulation events — no cpusim process is involved — which is precisely
+// what makes the HyperLoop datapath immune to host CPU contention.
+type NIC struct {
+	fabric *Fabric
+	host   string
+	mem    *nvm.Device
+	down   bool
+
+	mrs     map[uint32]*MemoryRegion
+	qps     map[uint32]*QP
+	cqs     map[uint32]*CQ
+	nextKey uint32
+	nextQPN uint32
+	nextCQN uint32
+
+	wqesExecuted int64
+	bytesTx      int64
+}
+
+// Host returns the NIC's host name.
+func (n *NIC) Host() string { return n.host }
+
+// Memory returns the NIC's host memory device.
+func (n *NIC) Memory() *nvm.Device { return n.mem }
+
+// Fabric returns the owning fabric.
+func (n *NIC) Fabric() *Fabric { return n.fabric }
+
+// SetDown simulates host/NIC failure: outgoing operations fail and incoming
+// messages are dropped (peers observe timeouts).
+func (n *NIC) SetDown(down bool) { n.down = down }
+
+// Down reports whether the NIC is failed.
+func (n *NIC) Down() bool { return n.down }
+
+// RegisterMR registers [off, off+len) of host memory with the given rights
+// and returns the region (its RKey names it remotely).
+func (n *NIC) RegisterMR(off, length uint64, rights Access) (*MemoryRegion, error) {
+	if off+length > uint64(n.mem.Size()) || off+length < off {
+		return nil, fmt.Errorf("rdma %s: MR [%d,+%d) exceeds memory size %d",
+			n.host, off, length, n.mem.Size())
+	}
+	n.nextKey++
+	mr := &MemoryRegion{RKey: n.nextKey, Off: off, Len: length, Rights: rights}
+	n.mrs[mr.RKey] = mr
+	return mr, nil
+}
+
+// lookupMR validates a remote access against a registered region.
+func (n *NIC) lookupMR(rkey uint32, addr, length uint64, need Access) (*MemoryRegion, error) {
+	mr, ok := n.mrs[rkey]
+	if !ok {
+		return nil, fmt.Errorf("rdma %s: unknown rkey %d", n.host, rkey)
+	}
+	if mr.Rights&need != need {
+		return nil, fmt.Errorf("rdma %s: rkey %d lacks rights %b", n.host, rkey, need)
+	}
+	if !mr.Contains(addr, length) {
+		return nil, fmt.Errorf("rdma %s: rkey %d access [%d,+%d) out of window [%d,+%d)",
+			n.host, rkey, addr, length, mr.Off, mr.Len)
+	}
+	return mr, nil
+}
+
+// CreateCQ allocates a completion queue.
+func (n *NIC) CreateCQ() *CQ {
+	n.nextCQN++
+	cq := &CQ{nic: n, cqn: n.nextCQN}
+	n.cqs[cq.CQN()] = cq
+	return cq
+}
+
+// CQ returns the completion queue with the given number, or nil.
+func (n *NIC) CQ(cqn uint32) *CQ { return n.cqs[cqn] }
+
+// QPConfig describes a queue pair's send ring placement.
+type QPConfig struct {
+	// SendRingOff is the host-memory offset of the send WQE ring. The ring
+	// occupies SendSlots*WQESize bytes. In HyperLoop groups the caller
+	// registers this range as an MR so peers can patch pre-posted WQEs.
+	SendRingOff uint64
+	SendSlots   int
+	SendCQ      *CQ
+	RecvCQ      *CQ
+}
+
+// CreateQP allocates a queue pair with its send ring at cfg.SendRingOff.
+func (n *NIC) CreateQP(cfg QPConfig) (*QP, error) {
+	if cfg.SendSlots <= 0 {
+		return nil, fmt.Errorf("rdma %s: QP needs at least 1 send slot", n.host)
+	}
+	end := cfg.SendRingOff + uint64(cfg.SendSlots)*WQESize
+	if end > uint64(n.mem.Size()) || end < cfg.SendRingOff {
+		return nil, fmt.Errorf("rdma %s: send ring [%d,+%d slots) exceeds memory",
+			n.host, cfg.SendRingOff, cfg.SendSlots)
+	}
+	if cfg.SendCQ == nil || cfg.RecvCQ == nil {
+		return nil, fmt.Errorf("rdma %s: QP requires send and recv CQs", n.host)
+	}
+	n.nextQPN++
+	qp := &QP{
+		nic:       n,
+		qpn:       n.nextQPN,
+		ringOff:   cfg.SendRingOff,
+		ringSlots: cfg.SendSlots,
+		sendCQ:    cfg.SendCQ,
+		recvCQ:    cfg.RecvCQ,
+	}
+	n.qps[qp.qpn] = qp
+	return qp, nil
+}
+
+// QP returns the queue pair with the given number, or nil.
+func (n *NIC) QP(qpn uint32) *QP { return n.qps[qpn] }
+
+// Stats reports WQEs executed and payload bytes transmitted by this NIC.
+func (n *NIC) Stats() (wqes, bytesTx int64) { return n.wqesExecuted, n.bytesTx }
+
+// send transmits a message to a peer QP with FIFO ordering per direction.
+// Loopback traffic (same NIC) skips the wire entirely and costs only NIC
+// processing time.
+func (n *NIC) send(to *QP, size int, deliver func()) {
+	f := n.fabric
+	var d sim.Duration
+	if to.nic == n {
+		d = f.cfg.WQEProc
+	} else {
+		f.msgs++
+		f.bytesOnWire += int64(size + f.cfg.HeaderBytes)
+		n.bytesTx += int64(size)
+		d = f.cfg.PropDelay + f.xmitTime(size)
+		d = f.rng.Jitter(d, f.cfg.JitterFrac)
+	}
+	at := f.k.Now().Add(d)
+	if at < to.lastArrival {
+		at = to.lastArrival // preserve per-QP FIFO despite jitter
+	}
+	to.lastArrival = at
+	targetNIC := to.nic
+	f.k.At(at, func() {
+		if targetNIC.down {
+			return // dropped; sender times out at a higher layer
+		}
+		deliver()
+	})
+}

@@ -1,0 +1,622 @@
+package rdma
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"hyperloop/internal/sim"
+)
+
+// SGE is a scatter/gather element of a receive work request. HyperLoop's
+// remote work-request manipulation relies on receive scatter lists whose
+// elements point *into* pre-posted WQE slots, so an arriving metadata SEND
+// directly rewrites the descriptors of the operations that will forward it.
+type SGE struct {
+	Addr uint64
+	Len  uint64
+}
+
+// RecvWQE is a posted receive buffer (scatter list).
+type RecvWQE struct {
+	WRID uint64
+	SGEs []SGE
+}
+
+func (r *RecvWQE) totalLen() uint64 {
+	var n uint64
+	for _, s := range r.SGEs {
+		n += s.Len
+	}
+	return n
+}
+
+// inKind distinguishes inbound message types.
+type inKind uint8
+
+const (
+	inSend inKind = iota + 1
+	inWrite
+	inWriteImm
+	inRead
+	inFlush
+	inCAS
+)
+
+// inMsg is a transport message queued at the responder QP. Messages are
+// processed strictly in arrival order; an RNR (no posted receive) blocks
+// the queue and retries, preserving reliable-connection ordering.
+type inMsg struct {
+	kind    inKind
+	payload []byte
+	addr    uint64
+	length  uint64
+	rkey    uint32
+	imm     uint32
+	compare uint64
+	swap    uint64
+	reply   func(st Status, payload []byte)
+}
+
+// pendingOp tracks an issued remote operation awaiting its ACK/response.
+type pendingOp struct {
+	wqe      WQE
+	complete func(st Status, payload []byte)
+}
+
+// QP is a reliable-connected queue pair. Its send queue is a ring of
+// binary WQE slots in host memory; the engine walks the ring in order,
+// stalling at WQEs whose ownership has not been granted — the hook that
+// lets HyperLoop pre-post operation chains and have WAIT WQEs enable them.
+type QP struct {
+	nic       *NIC
+	qpn       uint32
+	ringOff   uint64
+	ringSlots int
+	sendCQ    *CQ
+	recvCQ    *CQ
+	peer      *QP
+
+	head uint64 // next slot sequence to execute
+	tail uint64 // next slot sequence to post
+
+	recvQueue []RecvWQE
+	inbox     []inMsg
+	pending   []pendingOp
+
+	pumpScheduled bool
+	pumpBusy      bool
+	inboxBusy     bool
+	rnrWaiting    bool
+
+	lastArrival sim.Time // FIFO clamp for inbound delivery
+}
+
+// QPN returns the queue pair number.
+func (q *QP) QPN() uint32 { return q.qpn }
+
+// NIC returns the owning NIC.
+func (q *QP) NIC() *NIC { return q.nic }
+
+// SendCQ returns the send completion queue.
+func (q *QP) SendCQ() *CQ { return q.sendCQ }
+
+// RecvCQ returns the receive completion queue.
+func (q *QP) RecvCQ() *CQ { return q.recvCQ }
+
+// RingOff returns the host-memory offset of the send WQE ring.
+func (q *QP) RingOff() uint64 { return q.ringOff }
+
+// RingSlots returns the send ring capacity in WQE slots.
+func (q *QP) RingSlots() int { return q.ringSlots }
+
+// Connect pairs q with peer bidirectionally (reliable connection).
+func (q *QP) Connect(peer *QP) {
+	q.peer = peer
+	peer.peer = q
+}
+
+// Peer returns the connected remote QP, or nil.
+func (q *QP) Peer() *QP { return q.peer }
+
+// ErrSendQueueFull is returned when posting would overrun un-executed WQEs.
+var ErrSendQueueFull = fmt.Errorf("rdma: send queue full")
+
+func (q *QP) writeSlot(seq uint64, w WQE) error {
+	if q.tailDistance() >= q.ringSlots {
+		return ErrSendQueueFull
+	}
+	var buf [WQESize]byte
+	if err := w.Encode(buf[:]); err != nil {
+		return err
+	}
+	addr := SlotAddr(q.ringOff, q.ringSlots, seq)
+	return q.nic.mem.Write(int(addr), buf[:])
+}
+
+func (q *QP) tailDistance() int { return int(q.tail - q.head) }
+
+// PostSend writes w at the ring tail with ownership granted and rings the
+// doorbell. This is the conventional verbs path.
+func (q *QP) PostSend(w WQE) (uint64, error) {
+	w.Flags |= FlagOwned
+	seq := q.tail
+	if err := q.writeSlot(seq, w); err != nil {
+		return 0, err
+	}
+	q.tail++
+	q.Doorbell()
+	return seq, nil
+}
+
+// PostSendDeferred writes w at the ring tail *without* granting ownership:
+// the NIC will stall at this WQE until a WAIT enables it or GrantOwnership
+// is called. This is HyperLoop's modified-driver posting path (§4.1).
+func (q *QP) PostSendDeferred(w WQE) (uint64, error) {
+	w.Flags &^= FlagOwned
+	seq := q.tail
+	if err := q.writeSlot(seq, w); err != nil {
+		return 0, err
+	}
+	q.tail++
+	return seq, nil
+}
+
+// GrantOwnership sets the owned flag on slot seq and rings the doorbell —
+// the local (client-side) path for arming a previously deferred WQE after
+// patching its descriptor.
+func (q *QP) GrantOwnership(seq uint64) error {
+	if err := q.setOwned(seq, true); err != nil {
+		return err
+	}
+	q.Doorbell()
+	return nil
+}
+
+func (q *QP) setOwned(seq uint64, owned bool) error {
+	addr := int(SlotAddr(q.ringOff, q.ringSlots, seq)) + wqeOffFlags
+	b, err := q.nic.mem.Slice(addr, 1)
+	if err != nil {
+		return err
+	}
+	flags := b[0]
+	if owned {
+		flags |= FlagOwned
+	} else {
+		flags &^= FlagOwned
+	}
+	return q.nic.mem.Write(addr, []byte{flags})
+}
+
+// PatchDescriptor overwrites the patchable descriptor fields of slot seq.
+// Local equivalent of what a remote peer does with RDMA; used by the client
+// to retarget its own pre-built WQEs.
+func (q *QP) PatchDescriptor(seq uint64, w WQE) error {
+	var desc [DescLen]byte
+	if err := w.EncodeDesc(desc[:]); err != nil {
+		return err
+	}
+	addr := DescAddr(q.ringOff, q.ringSlots, seq)
+	return q.nic.mem.Write(int(addr), desc[:])
+}
+
+// PostRecv posts a receive scatter list. If a sender was blocked on
+// receiver-not-ready, delivery resumes on the next simulation step — never
+// synchronously inside the caller, which could otherwise observe its own
+// half-finished setup (e.g. a receive posted before its WQE chains).
+func (q *QP) PostRecv(r RecvWQE) {
+	q.recvQueue = append(q.recvQueue, r)
+	if q.rnrWaiting {
+		q.rnrWaiting = false
+		q.nic.fabric.k.After(0, q.processInbox)
+	}
+}
+
+// RecvDepth returns the number of posted, unconsumed receives.
+func (q *QP) RecvDepth() int { return len(q.recvQueue) }
+
+// Doorbell kicks the send engine.
+func (q *QP) Doorbell() {
+	if q.pumpScheduled || q.pumpBusy {
+		return
+	}
+	q.pumpScheduled = true
+	q.nic.fabric.k.After(0, q.pump)
+}
+
+// pump executes send WQEs in ring order until it stalls (un-owned WQE,
+// unsatisfied WAIT) or goes busy on an occupancy delay.
+func (q *QP) pump() {
+	q.pumpScheduled = false
+	if q.pumpBusy || q.nic.down {
+		return
+	}
+	slotAddr := int(SlotAddr(q.ringOff, q.ringSlots, q.head))
+	buf, err := q.nic.mem.Slice(slotAddr, WQESize)
+	if err != nil {
+		return
+	}
+	w, err := DecodeWQE(buf)
+	if err != nil || w.Flags&FlagOwned == 0 || w.Opcode == 0 {
+		return // stall until doorbell / enable
+	}
+	if w.Opcode == OpWait {
+		q.execWait(w)
+		return
+	}
+	q.execute(w)
+}
+
+// execWait implements the CORE-Direct WAIT verb: block this send queue
+// until the target CQ has Imm unconsumed completions, then enable the
+// following Aux2 WQEs and advance.
+func (q *QP) execWait(w WQE) {
+	cq := q.nic.CQ(w.Aux1)
+	if cq == nil {
+		q.finishSlot(w, StatusLocalError, 0)
+		return
+	}
+	if w.Flags&FlagWaitAbs != 0 {
+		if cq.total < int64(w.Compare) {
+			cq.subscribe(q.Doorbell)
+			return
+		}
+	} else {
+		need := int64(w.Imm)
+		if need <= 0 {
+			need = 1
+		}
+		if cq.total-cq.waitConsumed < need {
+			cq.subscribe(q.Doorbell)
+			return
+		}
+		cq.waitConsumed += need
+	}
+	seq := q.head
+	for j := uint32(1); j <= w.Aux2; j++ {
+		_ = q.setOwned(seq+uint64(j), true)
+	}
+	q.nic.wqesExecuted++
+	q.advance(w, q.nic.fabric.cfg.WQEProc)
+}
+
+// execute issues a non-WAIT WQE: it pays the engine occupancy (processing
+// plus wire serialization for remote ops), advances the ring, and arranges
+// completion when the ACK/response returns.
+func (q *QP) execute(w WQE) {
+	n := q.nic
+	cfg := n.fabric.cfg
+	n.wqesExecuted++
+
+	switch w.Opcode {
+	case OpNop:
+		q.completeLocal(w, StatusSuccess)
+		q.advance(w, cfg.WQEProc)
+
+	case OpMemcpy:
+		st := StatusSuccess
+		data := make([]byte, w.Len)
+		if err := n.mem.Read(int(w.Local), data); err != nil {
+			st = StatusLocalError
+		} else if err := n.mem.Write(int(w.Remote), data); err != nil {
+			st = StatusLocalError
+		}
+		occ := cfg.WQEProc + sim.Duration(float64(w.Len)*8/cfg.MemCopyBps*1e9)
+		q.completeAfter(w, st, occ)
+		q.advance(w, occ)
+
+	case OpSend, OpWrite, OpWriteImm:
+		if q.peer == nil {
+			q.completeLocal(w, StatusLocalError)
+			q.advance(w, cfg.WQEProc)
+			return
+		}
+		payload := make([]byte, w.Len)
+		if err := n.mem.Read(int(w.Local), payload); err != nil {
+			q.completeLocal(w, StatusLocalError)
+			q.advance(w, cfg.WQEProc)
+			return
+		}
+		kind := inSend
+		switch w.Opcode {
+		case OpWrite:
+			kind = inWrite
+		case OpWriteImm:
+			kind = inWriteImm
+		}
+		q.issueRemote(w, inMsg{
+			kind:    kind,
+			payload: payload,
+			addr:    w.Remote,
+			length:  w.Len,
+			rkey:    w.Aux1,
+			imm:     w.Imm,
+		}, len(payload), nil)
+
+	case OpRead:
+		local := w.Local
+		q.issueRemote(w, inMsg{
+			kind:   inRead,
+			addr:   w.Remote,
+			length: w.Len,
+			rkey:   w.Aux1,
+		}, 0, func(payload []byte) Status {
+			if err := n.mem.Write(int(local), payload); err != nil {
+				return StatusLocalError
+			}
+			return StatusSuccess
+		})
+
+	case OpFlush:
+		q.issueRemote(w, inMsg{
+			kind:   inFlush,
+			addr:   w.Remote,
+			length: w.Len,
+			rkey:   w.Aux1,
+		}, 0, nil)
+
+	case OpCAS:
+		local := w.Local
+		q.issueRemote(w, inMsg{
+			kind:    inCAS,
+			addr:    w.Remote,
+			length:  8,
+			rkey:    w.Aux1,
+			compare: w.Compare,
+			swap:    w.Swap,
+		}, 16, func(payload []byte) Status {
+			if len(payload) != 8 {
+				return StatusLocalError
+			}
+			if err := n.mem.Write(int(local), payload); err != nil {
+				return StatusLocalError
+			}
+			return StatusSuccess
+		})
+
+	default:
+		q.completeLocal(w, StatusLocalError)
+		q.advance(w, cfg.WQEProc)
+	}
+}
+
+// issueRemote transmits msg to the peer, registers the pending completion,
+// and advances the ring after the engine occupancy. onReply, if non-nil,
+// post-processes the response payload at the requester.
+func (q *QP) issueRemote(w WQE, msg inMsg, wireBytes int, onReply func([]byte) Status) {
+	peer := q.peer
+	q.pending = append(q.pending, pendingOp{
+		wqe: w,
+		complete: func(st Status, payload []byte) {
+			if st == StatusSuccess && onReply != nil {
+				st = onReply(payload)
+			}
+			q.pushSendCompletion(w, st, len(payload))
+		},
+	})
+	msg.reply = func(st Status, payload []byte) {
+		// Responses travel the reverse direction with the same FIFO clamp.
+		peer.nic.send(q, len(payload), func() {
+			q.handleAck(st, payload)
+		})
+	}
+	q.nic.send(peer, wireBytes, func() {
+		peer.enqueueInbox(msg)
+	})
+	q.advance(w, q.nic.fabric.cfg.WQEProc+q.nic.fabric.xmitTime(wireBytes))
+}
+
+func (q *QP) handleAck(st Status, payload []byte) {
+	if len(q.pending) == 0 {
+		return // response after QP reset; drop
+	}
+	op := q.pending[0]
+	q.pending = append(q.pending[:0], q.pending[1:]...)
+	op.complete(st, payload)
+}
+
+// completeLocal pushes a send completion immediately (local-only ops).
+func (q *QP) completeLocal(w WQE, st Status) {
+	q.pushSendCompletion(w, st, int(w.Len))
+}
+
+// completeAfter pushes a send completion after a delay (local ops with
+// duration, e.g. MEMCPY).
+func (q *QP) completeAfter(w WQE, st Status, d sim.Duration) {
+	q.nic.fabric.k.After(d, func() {
+		q.pushSendCompletion(w, st, int(w.Len))
+	})
+}
+
+func (q *QP) pushSendCompletion(w WQE, st Status, n int) {
+	if w.Flags&FlagSignaled == 0 && st == StatusSuccess {
+		return
+	}
+	q.sendCQ.push(CQE{
+		QPN: q.qpn, WRID: w.WRID, Op: w.Opcode, Status: st, Imm: w.Imm, ByteLen: n,
+	})
+}
+
+// finishSlot completes a slot with an error without executing it.
+func (q *QP) finishSlot(w WQE, st Status, n int) {
+	q.pushSendCompletion(w, st, n)
+	q.advance(w, q.nic.fabric.cfg.WQEProc)
+}
+
+// advance releases ownership of the head slot, moves past it and schedules
+// the next pump after the occupancy delay.
+func (q *QP) advance(_ WQE, occupancy sim.Duration) {
+	_ = q.setOwned(q.head, false)
+	q.head++
+	q.pumpBusy = true
+	q.nic.fabric.k.After(occupancy, func() {
+		q.pumpBusy = false
+		q.pump()
+	})
+}
+
+// enqueueInbox receives a transport message at the responder.
+func (q *QP) enqueueInbox(m inMsg) {
+	q.inbox = append(q.inbox, m)
+	if !q.inboxBusy && !q.rnrWaiting {
+		q.processInbox()
+	}
+}
+
+// processInbox handles inbound messages in order, paying NIC processing
+// cost per message. A SEND/WRITE_WITH_IMM with no posted receive blocks the
+// queue (RNR) and retries.
+func (q *QP) processInbox() {
+	if q.inboxBusy || len(q.inbox) == 0 {
+		return
+	}
+	m := q.inbox[0]
+	if (m.kind == inSend || m.kind == inWriteImm) && len(q.recvQueue) == 0 {
+		if !q.rnrWaiting {
+			q.rnrWaiting = true
+			q.nic.fabric.k.After(q.nic.fabric.cfg.RNRRetryDelay, func() {
+				q.rnrWaiting = false
+				q.processInbox()
+			})
+		}
+		return
+	}
+	q.inbox = append(q.inbox[:0], q.inbox[1:]...)
+	q.inboxBusy = true
+	cfg := q.nic.fabric.cfg
+	occ := cfg.WQEProc
+	st, resp, extra := q.applyInbound(m)
+	occ += extra
+	q.nic.fabric.k.After(occ, func() {
+		q.inboxBusy = false
+		if m.reply != nil {
+			m.reply(st, resp)
+		}
+		q.processInbox()
+	})
+}
+
+// applyInbound performs the memory effect of an inbound message and
+// returns the reply status/payload plus any extra processing delay.
+func (q *QP) applyInbound(m inMsg) (Status, []byte, sim.Duration) {
+	n := q.nic
+	switch m.kind {
+	case inWrite:
+		if _, err := n.lookupMR(m.rkey, m.addr, uint64(len(m.payload)), AccessRemoteWrite); err != nil {
+			return StatusRemoteAccessError, nil, 0
+		}
+		if err := n.mem.Write(int(m.addr), m.payload); err != nil {
+			return StatusRemoteAccessError, nil, 0
+		}
+		return StatusSuccess, nil, 0
+
+	case inWriteImm:
+		if _, err := n.lookupMR(m.rkey, m.addr, uint64(len(m.payload)), AccessRemoteWrite); err != nil {
+			return StatusRemoteAccessError, nil, 0
+		}
+		if err := n.mem.Write(int(m.addr), m.payload); err != nil {
+			return StatusRemoteAccessError, nil, 0
+		}
+		r := q.popRecv()
+		q.recvCQ.push(CQE{
+			QPN: q.qpn, WRID: r.WRID, Op: OpWriteImm, Status: StatusSuccess,
+			Imm: m.imm, ByteLen: len(m.payload),
+		})
+		return StatusSuccess, nil, 0
+
+	case inSend:
+		r := q.popRecv()
+		if uint64(len(m.payload)) > r.totalLen() {
+			q.recvCQ.push(CQE{
+				QPN: q.qpn, WRID: r.WRID, Op: OpSend, Status: StatusLocalError,
+				ByteLen: len(m.payload),
+			})
+			return StatusRemoteAccessError, nil, 0
+		}
+		rest := m.payload
+		for _, sge := range r.SGEs {
+			if len(rest) == 0 {
+				break
+			}
+			chunk := rest
+			if uint64(len(chunk)) > sge.Len {
+				chunk = chunk[:sge.Len]
+			}
+			if err := n.mem.Write(int(sge.Addr), chunk); err != nil {
+				q.recvCQ.push(CQE{
+					QPN: q.qpn, WRID: r.WRID, Op: OpSend, Status: StatusLocalError,
+					ByteLen: len(m.payload),
+				})
+				return StatusRemoteAccessError, nil, 0
+			}
+			rest = rest[len(chunk):]
+		}
+		q.recvCQ.push(CQE{
+			QPN: q.qpn, WRID: r.WRID, Op: OpSend, Status: StatusSuccess,
+			Imm: m.imm, ByteLen: len(m.payload),
+		})
+		return StatusSuccess, nil, 0
+
+	case inRead:
+		if _, err := n.lookupMR(m.rkey, m.addr, m.length, AccessRemoteRead); err != nil {
+			return StatusRemoteAccessError, nil, 0
+		}
+		buf := make([]byte, m.length)
+		if err := n.mem.Read(int(m.addr), buf); err != nil {
+			return StatusRemoteAccessError, nil, 0
+		}
+		return StatusSuccess, buf, 0
+
+	case inFlush:
+		mr, err := n.lookupMR(m.rkey, m.addr, m.length, AccessRemoteRead)
+		if err != nil {
+			return StatusRemoteAccessError, nil, 0
+		}
+		lo, ln := int(m.addr), int(m.length)
+		if m.length == 0 {
+			lo, ln = int(mr.Off), int(mr.Len)
+		}
+		flushed, err := n.mem.Flush(lo, ln)
+		if err != nil {
+			return StatusRemoteAccessError, nil, 0
+		}
+		cfg := n.fabric.cfg
+		cost := cfg.CacheFlushBase + sim.Duration(flushed/64+1)*cfg.CacheFlushPerLine
+		return StatusSuccess, nil, cost
+
+	case inCAS:
+		if _, err := n.lookupMR(m.rkey, m.addr, 8, AccessRemoteAtomic); err != nil {
+			return StatusRemoteAccessError, nil, 0
+		}
+		cur, err := n.mem.Slice(int(m.addr), 8)
+		if err != nil {
+			return StatusRemoteAccessError, nil, 0
+		}
+		orig := binary.LittleEndian.Uint64(cur)
+		if orig == m.compare {
+			var nb [8]byte
+			binary.LittleEndian.PutUint64(nb[:], m.swap)
+			if err := n.mem.Write(int(m.addr), nb[:]); err != nil {
+				return StatusRemoteAccessError, nil, 0
+			}
+		}
+		var ob [8]byte
+		binary.LittleEndian.PutUint64(ob[:], orig)
+		return StatusSuccess, ob[:], 0
+
+	default:
+		return StatusLocalError, nil, 0
+	}
+}
+
+func (q *QP) popRecv() RecvWQE {
+	r := q.recvQueue[0]
+	q.recvQueue = append(q.recvQueue[:0], q.recvQueue[1:]...)
+	return r
+}
+
+// DebugState summarizes the QP's engine state for diagnostics.
+func (q *QP) DebugState() string {
+	return fmt.Sprintf("head=%d tail=%d pending=%d inbox=%d recvs=%d pumpBusy=%v pumpSched=%v rnr=%v inboxBusy=%v",
+		q.head, q.tail, len(q.pending), len(q.inbox), len(q.recvQueue),
+		q.pumpBusy, q.pumpScheduled, q.rnrWaiting, q.inboxBusy)
+}

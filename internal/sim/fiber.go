@@ -1,0 +1,166 @@
+package sim
+
+import "fmt"
+
+// Fiber is a cooperative coroutine driven by the kernel. Exactly one of the
+// kernel loop or a single fiber runs at any moment, so fiber code can use
+// ordinary sequential style (Sleep, Await) while the whole simulation stays
+// deterministic.
+//
+// Fibers exist so that client logic — a storage front end issuing a
+// transaction, a YCSB worker — reads top-to-bottom instead of as a chain of
+// completion callbacks.
+type Fiber struct {
+	k      *Kernel
+	name   string
+	resume chan struct{}
+	yield  chan struct{}
+	exited bool
+}
+
+// Spawn starts fn as a fiber at the current instant. fn runs until it
+// blocks (Sleep/Await) or returns; control then returns to the kernel.
+func (k *Kernel) Spawn(name string, fn func(f *Fiber)) {
+	f := &Fiber{
+		k:      k,
+		name:   name,
+		resume: make(chan struct{}),
+		yield:  make(chan struct{}),
+	}
+	k.After(0, func() {
+		k.fibers++
+		go func() {
+			<-f.resume
+			fn(f)
+			f.exited = true
+			k.fibers--
+			f.yield <- struct{}{}
+		}()
+		f.dispatch()
+	})
+}
+
+// dispatch transfers control into the fiber and blocks until it yields or
+// exits. It must be called from kernel (event) context.
+func (f *Fiber) dispatch() {
+	f.resume <- struct{}{}
+	<-f.yield
+}
+
+// pause transfers control back to the kernel and blocks until resumed. It
+// must be called from fiber context.
+func (f *Fiber) pause() {
+	f.yield <- struct{}{}
+	<-f.resume
+}
+
+// Name returns the fiber's diagnostic name.
+func (f *Fiber) Name() string { return f.name }
+
+// Kernel returns the owning kernel.
+func (f *Fiber) Kernel() *Kernel { return f.k }
+
+// Now returns the current virtual time.
+func (f *Fiber) Now() Time { return f.k.Now() }
+
+// Sleep blocks the fiber for virtual duration d.
+func (f *Fiber) Sleep(d Duration) {
+	f.k.After(d, f.dispatch)
+	f.pause()
+}
+
+// Await blocks the fiber until s fires and returns the signal's error. If s
+// already fired it returns immediately.
+func (f *Fiber) Await(s *Signal) error {
+	if !s.fired {
+		s.subscribe(f.dispatch)
+		f.pause()
+	}
+	return s.err
+}
+
+// AwaitAll blocks until every signal has fired and returns the first
+// non-nil error among them (in argument order).
+func (f *Fiber) AwaitAll(sigs ...*Signal) error {
+	var firstErr error
+	for _, s := range sigs {
+		if err := f.Await(s); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Signal is a one-shot completion notification. Fire may be called from
+// kernel or fiber context; waiters resume in subscription order.
+type Signal struct {
+	fired   bool
+	err     error
+	waiters []func()
+}
+
+// NewSignal returns an unfired signal.
+func NewSignal() *Signal { return &Signal{} }
+
+// Fired reports whether the signal has fired.
+func (s *Signal) Fired() bool { return s.fired }
+
+// Err returns the error the signal fired with (nil before firing).
+func (s *Signal) Err() error { return s.err }
+
+func (s *Signal) subscribe(fn func()) { s.waiters = append(s.waiters, fn) }
+
+// Fire marks the signal complete and wakes all waiters. Firing twice is a
+// logic error and is ignored except for recording the first error.
+func (s *Signal) Fire(err error) {
+	if s.fired {
+		return
+	}
+	s.fired = true
+	s.err = err
+	ws := s.waiters
+	s.waiters = nil
+	for _, w := range ws {
+		w()
+	}
+}
+
+// String describes the signal state for debugging.
+func (s *Signal) String() string {
+	if !s.fired {
+		return "signal(pending)"
+	}
+	return fmt.Sprintf("signal(fired err=%v)", s.err)
+}
+
+// Mutex is a cooperative mutual-exclusion lock for fibers. Waiters are
+// granted the lock in FIFO order.
+type Mutex struct {
+	locked  bool
+	waiters []*Signal
+}
+
+// Lock blocks the fiber until the mutex is acquired.
+func (m *Mutex) Lock(f *Fiber) {
+	if !m.locked {
+		m.locked = true
+		return
+	}
+	s := NewSignal()
+	m.waiters = append(m.waiters, s)
+	_ = f.Await(s)
+}
+
+// Unlock releases the mutex, handing it to the oldest waiter if any.
+func (m *Mutex) Unlock() {
+	if len(m.waiters) == 0 {
+		m.locked = false
+		return
+	}
+	next := m.waiters[0]
+	m.waiters = append(m.waiters[:0], m.waiters[1:]...)
+	next.Fire(nil) // lock stays held, ownership transfers
+}
+
+// Locked reports whether the mutex is held.
+func (m *Mutex) Locked() bool { return m.locked }

@@ -1,0 +1,194 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// All HyperLoop components — the RDMA fabric, the NVM devices, and the
+// multi-tenant CPU scheduler — are driven by a single Kernel that advances a
+// virtual clock. Events scheduled for the same instant fire in insertion
+// order, so a run is bit-reproducible given the same seed.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Time is a virtual-clock instant in nanoseconds since the start of the
+// simulation. It is unrelated to the wall clock.
+type Time int64
+
+// Duration re-exports time.Duration for convenience; virtual durations use
+// the same unit (nanoseconds) as wall-clock durations.
+type Duration = time.Duration
+
+// Common virtual durations.
+const (
+	Nanosecond  = Duration(time.Nanosecond)
+	Microsecond = Duration(time.Microsecond)
+	Millisecond = Duration(time.Millisecond)
+	Second      = Duration(time.Second)
+)
+
+// Add returns the instant d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration elapsed from u to t.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// String formats the instant as a duration offset, e.g. "1.5ms".
+func (t Time) String() string { return Duration(t).String() }
+
+// event is a scheduled callback.
+type event struct {
+	at  Time
+	seq uint64 // tie-break: FIFO among same-instant events
+	fn  func()
+
+	index int // heap index; -1 when cancelled
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev, ok := x.(*event)
+	if !ok {
+		return
+	}
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Timer is a handle to a scheduled event that can be cancelled.
+type Timer struct {
+	k  *Kernel
+	ev *event
+}
+
+// Stop cancels the timer. It reports whether the event had not yet fired.
+func (t *Timer) Stop() bool {
+	if t == nil || t.ev == nil || t.ev.index < 0 {
+		return false
+	}
+	heap.Remove(&t.k.events, t.ev.index)
+	t.ev = nil
+	return true
+}
+
+// ErrStopped is returned by Run when StopRun was called.
+var ErrStopped = errors.New("sim: run stopped")
+
+// Kernel is the discrete-event simulation core. It is not safe for
+// concurrent use; fibers hand control back and forth cooperatively so all
+// simulation logic is effectively single-threaded.
+type Kernel struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	rng     *RNG
+	stopped bool
+	limit   Time // 0 = no limit
+	fibers  int  // live fiber count, for leak detection
+}
+
+// NewKernel returns a kernel with its clock at zero and a deterministic RNG
+// derived from seed.
+func NewKernel(seed uint64) *Kernel {
+	return &Kernel{rng: NewRNG(seed)}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// RNG returns the kernel's deterministic random source.
+func (k *Kernel) RNG() *RNG { return k.rng }
+
+// At schedules fn to run at instant t. Scheduling in the past is an error in
+// simulation logic; such events fire immediately at the current time instead
+// of rewinding the clock.
+func (k *Kernel) At(t Time, fn func()) *Timer {
+	if t < k.now {
+		t = k.now
+	}
+	k.seq++
+	ev := &event{at: t, seq: k.seq, fn: fn}
+	heap.Push(&k.events, ev)
+	return &Timer{k: k, ev: ev}
+}
+
+// After schedules fn to run d from now.
+func (k *Kernel) After(d Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return k.At(k.now.Add(d), fn)
+}
+
+// StopRun makes Run return after the current event completes.
+func (k *Kernel) StopRun() { k.stopped = true }
+
+// Run executes events in order until the queue drains, the optional limit is
+// reached, or StopRun is called. It returns ErrStopped in the latter case.
+func (k *Kernel) Run() error {
+	k.stopped = false
+	for len(k.events) > 0 {
+		if k.stopped {
+			return ErrStopped
+		}
+		if k.limit > 0 && k.events[0].at > k.limit {
+			k.now = k.limit
+			return nil
+		}
+		ev, ok := heap.Pop(&k.events).(*event)
+		if !ok {
+			return fmt.Errorf("sim: corrupt event queue")
+		}
+		k.now = ev.at
+		ev.fn()
+	}
+	return nil
+}
+
+// RunUntil executes events up to and including instant t, then advances the
+// clock to t and returns. Events after t remain queued.
+func (k *Kernel) RunUntil(t Time) error {
+	prev := k.limit
+	k.limit = t
+	err := k.Run()
+	k.limit = prev
+	if err == nil && k.now < t {
+		k.now = t
+	}
+	return err
+}
+
+// Pending reports the number of queued events.
+func (k *Kernel) Pending() int { return len(k.events) }
+
+// LiveFibers reports the number of fibers that have started and not yet
+// exited; useful to assert that a scenario wound down cleanly.
+func (k *Kernel) LiveFibers() int { return k.fibers }

@@ -1,0 +1,184 @@
+// Package ycsb reimplements the Yahoo! Cloud Serving Benchmark core
+// workloads (Cooper et al., SoCC 2010) used by the paper's evaluation
+// (§6.2, Table 3): operation mixes A/B/D/E/F, zipfian / scrambled-zipfian
+// / latest / uniform request distributions, and a fiber-driven runner that
+// records per-operation latencies.
+package ycsb
+
+import (
+	"fmt"
+	"math"
+
+	"hyperloop/internal/sim"
+)
+
+// Generator produces the next item index to operate on.
+type Generator interface {
+	// Next returns an index in [0, n) where n is the current item count
+	// the caller supplies (grows as inserts happen).
+	Next(n int) int
+}
+
+// Uniform picks uniformly at random.
+type Uniform struct {
+	rng *sim.RNG
+}
+
+// NewUniform returns a uniform generator.
+func NewUniform(rng *sim.RNG) *Uniform { return &Uniform{rng: rng} }
+
+// Next implements Generator.
+func (u *Uniform) Next(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return u.rng.Intn(n)
+}
+
+// Zipfian implements the Gray et al. "Quickly generating billion-record
+// synthetic databases" algorithm, as in the YCSB core package. Lower
+// indices are exponentially more popular.
+type Zipfian struct {
+	rng   *sim.RNG
+	items int
+	theta float64
+
+	alpha, zetan, eta, zeta2theta float64
+}
+
+// ZipfianConstant is YCSB's default skew.
+const ZipfianConstant = 0.99
+
+// NewZipfian returns a zipfian generator over items elements.
+func NewZipfian(rng *sim.RNG, items int, theta float64) *Zipfian {
+	if items < 1 {
+		items = 1
+	}
+	z := &Zipfian{rng: rng, items: items, theta: theta}
+	z.zeta2theta = zetaStatic(2, theta)
+	z.recompute()
+	return z
+}
+
+func zetaStatic(n int, theta float64) float64 {
+	sum := 0.0
+	for i := 1; i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+func (z *Zipfian) recompute() {
+	z.zetan = zetaStatic(z.items, z.theta)
+	z.alpha = 1 / (1 - z.theta)
+	z.eta = (1 - math.Pow(2/float64(z.items), 1-z.theta)) / (1 - z.zeta2theta/z.zetan)
+}
+
+// Next implements Generator. If n differs from the configured item count
+// the distribution is recomputed (inserts grew the keyspace).
+func (z *Zipfian) Next(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	if n != z.items {
+		z.items = n
+		z.recompute()
+	}
+	u := z.rng.Float64()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	idx := int(float64(n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if idx >= n {
+		idx = n - 1
+	}
+	return idx
+}
+
+// ScrambledZipfian spreads the zipfian head across the keyspace by
+// hashing, as YCSB does for workloads A/B/E/F.
+type ScrambledZipfian struct {
+	z *Zipfian
+}
+
+// NewScrambledZipfian returns a scrambled zipfian generator.
+func NewScrambledZipfian(rng *sim.RNG, items int) *ScrambledZipfian {
+	return &ScrambledZipfian{z: NewZipfian(rng, items, ZipfianConstant)}
+}
+
+func fnvHash64(v uint64) uint64 {
+	var h uint64 = 0xCBF29CE484222325
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xFF
+		h *= 0x100000001B3
+		v >>= 8
+	}
+	return h
+}
+
+// Next implements Generator.
+func (s *ScrambledZipfian) Next(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(fnvHash64(uint64(s.z.Next(n))) % uint64(n))
+}
+
+// Latest skews toward the most recently inserted items (workload D).
+type Latest struct {
+	z *Zipfian
+}
+
+// NewLatest returns a latest-skewed generator.
+func NewLatest(rng *sim.RNG, items int) *Latest {
+	return &Latest{z: NewZipfian(rng, items, ZipfianConstant)}
+}
+
+// Next implements Generator.
+func (l *Latest) Next(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	off := l.z.Next(n)
+	return n - 1 - off
+}
+
+// Distribution names a request distribution.
+type Distribution int
+
+// Request distributions.
+const (
+	DistUniform Distribution = iota + 1
+	DistZipfian
+	DistLatest
+)
+
+// String returns the distribution name.
+func (d Distribution) String() string {
+	switch d {
+	case DistUniform:
+		return "uniform"
+	case DistZipfian:
+		return "zipfian"
+	case DistLatest:
+		return "latest"
+	default:
+		return fmt.Sprintf("Distribution(%d)", int(d))
+	}
+}
+
+// NewGenerator builds the generator for a distribution.
+func NewGenerator(d Distribution, rng *sim.RNG, items int) Generator {
+	switch d {
+	case DistLatest:
+		return NewLatest(rng, items)
+	case DistZipfian:
+		return NewScrambledZipfian(rng, items)
+	default:
+		return NewUniform(rng)
+	}
+}
