@@ -5,15 +5,19 @@
 //	hyperloop-bench -list
 //	hyperloop-bench -exp fig8a
 //	hyperloop-bench -exp all -scale full -seed 7
+//	hyperloop-bench -exp all -procs 8 -json BENCH_baseline.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"hyperloop/internal/experiments"
+	"hyperloop/internal/sim"
 )
 
 func main() {
@@ -23,6 +27,25 @@ func main() {
 	}
 }
 
+// expStats is one experiment's entry in the -json report.
+type expStats struct {
+	ID           string  `json:"id"`
+	WallMS       float64 `json:"wall_ms"`
+	SimEvents    int64   `json:"sim_events"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	Allocs       uint64  `json:"allocs"`
+}
+
+// benchReport is the -json output: enough to compare perf across commits.
+type benchReport struct {
+	Seed        uint64     `json:"seed"`
+	Scale       string     `json:"scale"`
+	Procs       int        `json:"procs"`
+	GoMaxProcs  int        `json:"gomaxprocs"`
+	Experiments []expStats `json:"experiments"`
+	TotalWallMS float64    `json:"total_wall_ms"`
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("hyperloop-bench", flag.ContinueOnError)
 	var (
@@ -30,6 +53,8 @@ func run(args []string) error {
 		seed  = fs.Uint64("seed", 1, "simulation seed (equal seeds reproduce runs exactly)")
 		scale = fs.String("scale", "quick", "run size: quick | full (paper-grade sample counts)")
 		list  = fs.Bool("list", false, "list experiments and exit")
+		procs = fs.Int("procs", 0, "concurrent trials per experiment (0 = GOMAXPROCS); results are identical at any setting")
+		jsonP = fs.String("json", "", "write machine-readable perf stats to this file ('-' = stdout)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -49,19 +74,59 @@ func run(args []string) error {
 	default:
 		return fmt.Errorf("unknown scale %q (quick|full)", *scale)
 	}
+	if *procs < 0 {
+		return fmt.Errorf("-procs must be >= 0, got %d", *procs)
+	}
+	prev := experiments.SetParallelism(*procs)
+	defer experiments.SetParallelism(prev)
 
 	ids := []string{*exp}
 	if *exp == "all" {
 		ids = experiments.PaperOrder()
 	}
+	bench := benchReport{
+		Seed: *seed, Scale: *scale,
+		Procs: experiments.Parallelism(), GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	total := time.Now()
 	for _, id := range ids {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		allocs0, events0 := ms.Mallocs, sim.TotalEvents()
 		start := time.Now()
 		report, err := experiments.Run(id, *seed, sc)
 		if err != nil {
 			return fmt.Errorf("%s: %w", id, err)
 		}
+		wall := time.Since(start)
+		runtime.ReadMemStats(&ms)
+		events := sim.TotalEvents() - events0
+		bench.Experiments = append(bench.Experiments, expStats{
+			ID:           id,
+			WallMS:       float64(wall.Microseconds()) / 1000,
+			SimEvents:    events,
+			EventsPerSec: float64(events) / wall.Seconds(),
+			Allocs:       ms.Mallocs - allocs0,
+		})
 		fmt.Println(report)
-		fmt.Printf("(%s regenerated in %v wall time)\n\n", id, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("(%s regenerated in %v wall time)\n\n", id, wall.Round(time.Millisecond))
+	}
+	bench.TotalWallMS = float64(time.Since(total).Microseconds()) / 1000
+
+	if *jsonP != "" {
+		out, err := json.MarshalIndent(&bench, "", "  ")
+		if err != nil {
+			return err
+		}
+		out = append(out, '\n')
+		if *jsonP == "-" {
+			_, err = os.Stdout.Write(out)
+			return err
+		}
+		if err := os.WriteFile(*jsonP, out, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("(perf stats written to %s)\n", *jsonP)
 	}
 	return nil
 }

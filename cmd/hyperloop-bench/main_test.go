@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestListFlag(t *testing.T) {
 	if err := run([]string{"-list"}); err != nil {
@@ -23,5 +28,36 @@ func TestUnknownExperiment(t *testing.T) {
 func TestRunSingleExperiment(t *testing.T) {
 	if err := run([]string{"-exp", "table3", "-scale", "quick"}); err != nil {
 		t.Fatalf("table3: %v", err)
+	}
+}
+
+func TestNegativeProcs(t *testing.T) {
+	if err := run([]string{"-exp", "table3", "-procs", "-1"}); err == nil {
+		t.Fatal("negative -procs accepted")
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := run([]string{"-exp", "abl-flush", "-procs", "2", "-json", path}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read json: %v", err)
+	}
+	var rep benchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if rep.Procs != 2 {
+		t.Fatalf("procs = %d, want 2", rep.Procs)
+	}
+	if len(rep.Experiments) != 1 || rep.Experiments[0].ID != "abl-flush" {
+		t.Fatalf("experiments = %+v, want one abl-flush entry", rep.Experiments)
+	}
+	e := rep.Experiments[0]
+	if e.SimEvents <= 0 || e.WallMS <= 0 || e.EventsPerSec <= 0 {
+		t.Fatalf("stats not populated: %+v", e)
 	}
 }

@@ -142,6 +142,9 @@ type core struct {
 	cur  *Proc
 	last *Proc
 	busy sim.Duration
+
+	ran    sim.Duration // CPU time granted to cur in the current slice
+	finish func()       // cached finishSlice callback (one outstanding per core)
 }
 
 // Scheduler is the CFS-like multi-core scheduler.
@@ -158,6 +161,7 @@ type Scheduler struct {
 	started      sim.Time
 	pinnedCores  int
 	dispatchPend bool
+	dispatchFn   func() // cached dispatch callback
 }
 
 // New creates a scheduler driven by kernel k.
@@ -175,7 +179,13 @@ func New(k *sim.Kernel, cfg Config) (*Scheduler, error) {
 		started: k.Now(),
 	}
 	for i := 0; i < cfg.Cores; i++ {
-		s.cores = append(s.cores, &core{id: i})
+		c := &core{id: i}
+		c.finish = func() { s.finishSlice(c) }
+		s.cores = append(s.cores, c)
+	}
+	s.dispatchFn = func() {
+		s.dispatchPend = false
+		s.dispatch()
 	}
 	return s, nil
 }
@@ -297,10 +307,7 @@ func (s *Scheduler) scheduleDispatch() {
 		return
 	}
 	s.dispatchPend = true
-	s.k.After(0, func() {
-		s.dispatchPend = false
-		s.dispatch()
-	})
+	s.k.AfterFunc(0, s.dispatchFn, nil)
 }
 
 // slice returns the per-dispatch time slice under current load.
@@ -355,10 +362,12 @@ func (s *Scheduler) startOn(c *core, p *Proc) {
 	}
 	total := ctx + run
 	c.busy += total
-	s.k.After(total, func() { s.finishSlice(c, p, run) })
+	c.ran = run
+	s.k.AfterFunc(total, c.finish, nil)
 }
 
-func (s *Scheduler) finishSlice(c *core, p *Proc, ran sim.Duration) {
+func (s *Scheduler) finishSlice(c *core) {
+	p, ran := c.cur, c.ran
 	p.vruntime += ran
 	p.totalCPU += ran
 	p.running = false

@@ -323,25 +323,30 @@ func Fig2a(seed uint64, scale Scale) (*Report, error) {
 		ctxSwitch  int64
 		normalized float64
 	}
-	var rows []row
-	var maxCtx int64
-	for _, n := range setCounts {
+	rows := make([]row, len(setCounts))
+	if err := forEach(len(setCounts), func(j int) error {
+		n := setCounts[j]
 		c, err := newFig2Cluster(seed, n, cores, recordCount, opCount)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		h, err := c.run()
 		if err != nil {
-			return nil, fmt.Errorf("sets=%d: %w", n, err)
+			return fmt.Errorf("sets=%d: %w", n, err)
 		}
-		ctx := c.contextSwitches()
-		if ctx > maxCtx {
-			maxCtx = ctx
-		}
-		rows = append(rows, row{
+		rows[j] = row{
 			sets: n, mean: h.MeanDuration(), p95: h.PercentileDuration(95),
-			p99: h.PercentileDuration(99), ctxSwitch: ctx,
-		})
+			p99: h.PercentileDuration(99), ctxSwitch: c.contextSwitches(),
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	var maxCtx int64
+	for _, r := range rows {
+		if r.ctxSwitch > maxCtx {
+			maxCtx = r.ctxSwitch
+		}
 	}
 	tbl := metrics.NewTable("Figure 2(a): latency vs replica-sets (naive replication)",
 		"replica-sets", "avg", "p95", "p99", "ctx-switches", "normalized")
@@ -367,24 +372,37 @@ func Fig2b(seed uint64, scale Scale) (*Report, error) {
 	recordCount := scale.pick(20, 40)
 	opCount := scale.pick(40, 150)
 
-	tbl := metrics.NewTable(fmt.Sprintf("Figure 2(b): latency vs cores (%d replica-sets)", nSets),
-		"cores", "avg", "p95", "p99", "ctx-switches")
-	var first, last sim.Duration
-	for _, cores := range coreCounts {
+	type point struct {
+		h   *metrics.Histogram
+		ctx int64
+	}
+	points := make([]point, len(coreCounts))
+	if err := forEach(len(coreCounts), func(j int) error {
+		cores := coreCounts[j]
 		c, err := newFig2Cluster(seed, nSets, cores, recordCount, opCount)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		h, err := c.run()
 		if err != nil {
-			return nil, fmt.Errorf("cores=%d: %w", cores, err)
+			return fmt.Errorf("cores=%d: %w", cores, err)
 		}
+		points[j] = point{h: h, ctx: c.contextSwitches()}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	tbl := metrics.NewTable(fmt.Sprintf("Figure 2(b): latency vs cores (%d replica-sets)", nSets),
+		"cores", "avg", "p95", "p99", "ctx-switches")
+	var first, last sim.Duration
+	for j, cores := range coreCounts {
+		h := points[j].h
 		if first == 0 {
 			first = h.MeanDuration()
 		}
 		last = h.MeanDuration()
 		tbl.AddRow(cores, h.MeanDuration(), h.PercentileDuration(95),
-			h.PercentileDuration(99), c.contextSwitches())
+			h.PercentileDuration(99), points[j].ctx)
 	}
 	return &Report{
 		ID: "fig2b", Title: "More cores relieve contention (Fig. 2b)",
@@ -448,23 +466,31 @@ func Fig11(seed uint64, scale Scale) (*Report, error) {
 		Seed:        seed,
 	}
 	backends := []Backend{BackendNaiveEvent, BackendNaivePolling, BackendHyperLoop}
-	tbl := metrics.NewTable("Figure 11: replicated KV store, YCSB-A update latency",
-		"impl", "avg", "p95", "p99")
-	var tails = make(map[Backend]sim.Duration)
-	for _, b := range backends {
+	hists := make([]*metrics.Histogram, len(backends))
+	if err := forEach(len(backends), func(j int) error {
+		b := backends[j]
 		c, err := appCluster(seed, b, mirror)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		db, err := kvstore.Open(c.group, kcfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		res, err := runYCSB(c, newSoftDB(&kvAdapter{db: db}, 100*sim.Microsecond, seed+3), rcfg)
 		if err != nil {
-			return nil, fmt.Errorf("%v: %w", b, err)
+			return fmt.Errorf("%v: %w", b, err)
 		}
-		h := res.ByOp[ycsb.OpUpdate]
+		hists[j] = res.ByOp[ycsb.OpUpdate]
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	tbl := metrics.NewTable("Figure 11: replicated KV store, YCSB-A update latency",
+		"impl", "avg", "p95", "p99")
+	var tails = make(map[Backend]sim.Duration)
+	for j, b := range backends {
+		h := hists[j]
 		tails[b] = h.PercentileDuration(99)
 		tbl.AddRow(b.String(), h.MeanDuration(), h.PercentileDuration(95), h.PercentileDuration(99))
 	}
@@ -505,21 +531,29 @@ func Fig12(seed uint64, scale Scale) (*Report, error) {
 		})
 	}
 
+	workloads := ycsb.Workloads()
+	backends := []Backend{BackendNaivePolling, BackendHyperLoop}
+	names := []string{"native", "hyperloop"}
+	results := make([]*ycsb.Result, len(workloads)*len(backends))
+	if err := forEach(len(results), func(j int) error {
+		wi, bi := j/len(backends), j%len(backends)
+		r, err := measure(backends[bi], workloads[wi])
+		if err != nil {
+			return fmt.Errorf("%s %s: %w", names[bi], workloads[wi].Name, err)
+		}
+		results[j] = r
+		return nil
+	}); err != nil {
+		return nil, err
+	}
 	native := metrics.NewTable("Figure 12(a): native (CPU-polling) replication",
 		"workload", "avg", "p95", "p99")
 	hyper := metrics.NewTable("Figure 12(b): HyperLoop replication",
 		"workload", "avg", "p95", "p99")
 	var avgReduction, gapReduction float64
 	var writeWorkloads int
-	for _, w := range ycsb.Workloads() {
-		nres, err := measure(BackendNaivePolling, w)
-		if err != nil {
-			return nil, fmt.Errorf("native %s: %w", w.Name, err)
-		}
-		hres, err := measure(BackendHyperLoop, w)
-		if err != nil {
-			return nil, fmt.Errorf("hyperloop %s: %w", w.Name, err)
-		}
+	for wi, w := range workloads {
+		nres, hres := results[wi*len(backends)], results[wi*len(backends)+1]
 		nh, hh := nres.Overall, hres.Overall
 		native.AddRow(w.Name, nh.MeanDuration(), nh.PercentileDuration(95), nh.PercentileDuration(99))
 		hyper.AddRow(w.Name, hh.MeanDuration(), hh.PercentileDuration(95), hh.PercentileDuration(99))

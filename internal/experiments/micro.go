@@ -27,26 +27,17 @@ func microCluster(seed uint64, backend Backend, replicas int, loaded bool) (*clu
 	return newCluster(cfg)
 }
 
-// latencyForSizes measures gWRITE (or gMEMCPY) latency across message
-// sizes for one backend.
-func latencyForSizes(seed uint64, backend Backend, ops int, sizes []int,
-	issue func(c *cluster, f *sim.Fiber, size, i int) error) (map[int]*metrics.Histogram, error) {
-	out := make(map[int]*metrics.Histogram, len(sizes))
-	for si, size := range sizes {
-		c, err := microCluster(seed+uint64(si), backend, 3, true)
-		if err != nil {
-			return nil, err
-		}
-		size := size
-		h, err := c.runLatency(ops, size, func(f *sim.Fiber, i int) error {
-			return issue(c, f, size, i)
-		})
-		if err != nil {
-			return nil, fmt.Errorf("%v size %d: %w", backend, size, err)
-		}
-		out[size] = h
+// latencyTrial measures one (backend, size) latency point on its own
+// private cluster — the self-contained unit forEach runs concurrently.
+func latencyTrial(seed uint64, backend Backend, replicas, ops, size int,
+	issue func(c *cluster, f *sim.Fiber, size, i int) error) (*metrics.Histogram, error) {
+	c, err := microCluster(seed, backend, replicas, true)
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return c.runLatency(ops, size, func(f *sim.Fiber, i int) error {
+		return issue(c, f, size, i)
+	})
 }
 
 // writeIssue performs one gWRITE of size bytes at a rotating offset.
@@ -80,11 +71,19 @@ func Fig8b(seed uint64, scale Scale) (*Report, error) {
 func fig8(seed uint64, scale Scale, id, title string,
 	issue func(c *cluster, f *sim.Fiber, size, i int) error) (*Report, error) {
 	ops := scale.pick(300, 10000)
-	naiveH, err := latencyForSizes(seed, BackendNaiveEvent, ops, messageSizes, issue)
-	if err != nil {
-		return nil, err
-	}
-	hlH, err := latencyForSizes(seed, BackendHyperLoop, ops, messageSizes, issue)
+	backends := []Backend{BackendNaiveEvent, BackendHyperLoop}
+	// One job per (backend, size); each builds its own cluster, so the
+	// trials run concurrently and merge in deterministic point order.
+	hists := make([]*metrics.Histogram, len(backends)*len(messageSizes))
+	err := forEach(len(hists), func(j int) error {
+		bi, si := j/len(messageSizes), j%len(messageSizes)
+		h, err := latencyTrial(seed+uint64(si), backends[bi], 3, ops, messageSizes[si], issue)
+		if err != nil {
+			return fmt.Errorf("%v size %d: %w", backends[bi], messageSizes[si], err)
+		}
+		hists[j] = h
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -92,8 +91,8 @@ func fig8(seed uint64, scale Scale, id, title string,
 		"size", "naive avg", "naive p99", "hyperloop avg", "hyperloop p99", "p99 speedup")
 	var worst string
 	var worstRatio float64
-	for _, size := range messageSizes {
-		n, h := naiveH[size], hlH[size]
+	for si, size := range messageSizes {
+		n, h := hists[si], hists[len(messageSizes)+si]
 		ratio := float64(n.Percentile(99)) / float64(maxInt64(h.Percentile(99), 1))
 		if ratio > worstRatio {
 			worstRatio = ratio
@@ -130,14 +129,19 @@ func Table2(seed uint64, scale Scale) (*Report, error) {
 			return err
 		})
 	}
-	nh, err := measure(BackendNaiveEvent)
-	if err != nil {
+	backends := []Backend{BackendNaiveEvent, BackendHyperLoop}
+	hists := make([]*metrics.Histogram, len(backends))
+	if err := forEach(len(backends), func(j int) error {
+		h, err := measure(backends[j])
+		if err != nil {
+			return err
+		}
+		hists[j] = h
+		return nil
+	}); err != nil {
 		return nil, err
 	}
-	hh, err := measure(BackendHyperLoop)
-	if err != nil {
-		return nil, err
-	}
+	nh, hh := hists[0], hists[1]
 	tbl := metrics.NewTable("Table 2: gCAS latency", "impl", "average", "p95", "p99")
 	tbl.AddRow("Naive-RDMA", nh.MeanDuration(), nh.PercentileDuration(95), nh.PercentileDuration(99))
 	tbl.AddRow("HyperLoop", hh.MeanDuration(), hh.PercentileDuration(95), hh.PercentileDuration(99))
@@ -230,17 +234,23 @@ func Fig9(seed uint64, scale Scale) (*Report, error) {
 		return point{kops: kops, cpu: cpu}, nil
 	}
 
+	backends := []Backend{BackendNaivePinned, BackendHyperLoop}
+	points := make([]point, len(sizes)*len(backends))
+	if err := forEach(len(points), func(j int) error {
+		si, bi := j/len(backends), j%len(backends)
+		p, err := measure(backends[bi], sizes[si])
+		if err != nil {
+			return err
+		}
+		points[j] = p
+		return nil
+	}); err != nil {
+		return nil, err
+	}
 	tbl := metrics.NewTable("Figure 9: gWRITE throughput and replica CPU",
 		"size", "naive Kops/s", "naive CPU%", "hyperloop Kops/s", "hyperloop CPU%")
-	for _, size := range sizes {
-		np, err := measure(BackendNaivePinned, size)
-		if err != nil {
-			return nil, err
-		}
-		hp, err := measure(BackendHyperLoop, size)
-		if err != nil {
-			return nil, err
-		}
+	for si, size := range sizes {
+		np, hp := points[si*len(backends)], points[si*len(backends)+1]
 		tbl.AddRow(metrics.FormatBytes(size),
 			fmt.Sprintf("%.1f", np.kops), fmt.Sprintf("%.0f%%", np.cpu),
 			fmt.Sprintf("%.1f", hp.kops), fmt.Sprintf("%.0f%%", hp.cpu))
@@ -262,43 +272,41 @@ func Fig10(seed uint64, scale Scale) (*Report, error) {
 	groupSizes := []int{3, 5, 7}
 	sizes := messageSizes
 
-	measure := func(backend Backend, g int) (map[int]*metrics.Histogram, error) {
-		out := make(map[int]*metrics.Histogram)
-		for si, size := range sizes {
-			c, err := microCluster(seed+uint64(si), backend, g, true)
-			if err != nil {
-				return nil, err
-			}
-			size := size
-			h, err := c.runLatency(ops, size, func(f *sim.Fiber, i int) error {
+	backends := []Backend{BackendNaiveEvent, BackendHyperLoop}
+	// Flatten the triple loop (backend × group size × message size) into one
+	// job list; indexing keeps row/column assembly in deterministic order.
+	hists := make([]*metrics.Histogram, len(backends)*len(groupSizes)*len(sizes))
+	if err := forEach(len(hists), func(j int) error {
+		bi := j / (len(groupSizes) * len(sizes))
+		gi := j / len(sizes) % len(groupSizes)
+		si := j % len(sizes)
+		backend, g, size := backends[bi], groupSizes[gi], sizes[si]
+		h, err := latencyTrial(seed+uint64(si), backend, g, ops, size,
+			func(c *cluster, f *sim.Fiber, size, i int) error {
 				return writeIssue(c, f, size, i)
 			})
-			if err != nil {
-				return nil, fmt.Errorf("%v G=%d size=%d: %w", backend, g, size, err)
-			}
-			out[size] = h
+		if err != nil {
+			return fmt.Errorf("%v G=%d size=%d: %w", backend, g, size, err)
 		}
-		return out, nil
+		hists[j] = h
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	at := func(bi, gi, si int) *metrics.Histogram {
+		return hists[(bi*len(groupSizes)+gi)*len(sizes)+si]
 	}
 
 	var tables []*metrics.Table
 	growth := make(map[Backend]float64)
-	for _, backend := range []Backend{BackendNaiveEvent, BackendHyperLoop} {
+	for bi, backend := range backends {
 		tbl := metrics.NewTable(fmt.Sprintf("Figure 10: p99 gWRITE latency, %v", backend),
 			"size", "G=3", "G=5", "G=7", "G7/G3")
-		byG := make(map[int]map[int]*metrics.Histogram)
-		for _, g := range groupSizes {
-			m, err := measure(backend, g)
-			if err != nil {
-				return nil, err
-			}
-			byG[g] = m
-		}
 		var maxGrowth float64
-		for _, size := range sizes {
-			p3 := byG[3][size].PercentileDuration(99)
-			p5 := byG[5][size].PercentileDuration(99)
-			p7 := byG[7][size].PercentileDuration(99)
+		for si, size := range sizes {
+			p3 := at(bi, 0, si).PercentileDuration(99)
+			p5 := at(bi, 1, si).PercentileDuration(99)
+			p7 := at(bi, 2, si).PercentileDuration(99)
 			g := float64(p7) / float64(maxInt64(int64(p3), 1))
 			if g > maxGrowth {
 				maxGrowth = g
@@ -333,14 +341,24 @@ func AblationNoLoad(seed uint64, scale Scale) (*Report, error) {
 			return writeIssue(c, f, 1024, i)
 		})
 	}
+	backends := []Backend{BackendNaiveEvent, BackendHyperLoop}
+	loads := []bool{false, true}
+	hists := make([]*metrics.Histogram, len(backends)*len(loads))
+	if err := forEach(len(hists), func(j int) error {
+		h, err := measure(backends[j/len(loads)], loads[j%len(loads)])
+		if err != nil {
+			return err
+		}
+		hists[j] = h
+		return nil
+	}); err != nil {
+		return nil, err
+	}
 	tbl := metrics.NewTable("Ablation: co-located load on replica CPUs (1KB gWRITE)",
 		"impl", "load", "avg", "p99")
-	for _, backend := range []Backend{BackendNaiveEvent, BackendHyperLoop} {
-		for _, loaded := range []bool{false, true} {
-			h, err := measure(backend, loaded)
-			if err != nil {
-				return nil, err
-			}
+	for bi, backend := range backends {
+		for li, loaded := range loads {
+			h := hists[bi*len(loads)+li]
 			label := "idle"
 			if loaded {
 				label = "multi-tenant"
@@ -367,14 +385,19 @@ func AblationFlush(seed uint64, scale Scale) (*Report, error) {
 			return c.group.Write(f, (i%16)*8192, 4096, durable)
 		})
 	}
-	vol, err := measure(false)
-	if err != nil {
+	modes := []bool{false, true}
+	hists := make([]*metrics.Histogram, len(modes))
+	if err := forEach(len(modes), func(j int) error {
+		h, err := measure(modes[j])
+		if err != nil {
+			return err
+		}
+		hists[j] = h
+		return nil
+	}); err != nil {
 		return nil, err
 	}
-	dur, err := measure(true)
-	if err != nil {
-		return nil, err
-	}
+	vol, dur := hists[0], hists[1]
 	tbl := metrics.NewTable("Ablation: interleaved gFLUSH cost (4KB gWRITE, G=3)",
 		"mode", "avg", "p99")
 	tbl.AddRow("volatile (no flush)", vol.MeanDuration(), vol.PercentileDuration(99))
@@ -390,16 +413,14 @@ func AblationFlush(seed uint64, scale Scale) (*Report, error) {
 // throughput — the design choice behind HyperLoop's pre-posted chains.
 func AblationDepth(seed uint64, scale Scale) (*Report, error) {
 	ops := scale.pick(400, 4000)
-	tbl := metrics.NewTable("Ablation: pre-armed window depth vs pipelined gWRITE throughput (1KB)",
-		"depth", "Kops/s")
-	for _, depth := range []int{4, 8, 16, 32, 64} {
+	measure := func(depth int) (float64, error) {
 		cfg := clusterCfg{
 			seed: seed, replicas: 3, mirror: 1 << 20,
 			backend: BackendHyperLoop, cores: 16, depth: depth,
 		}
 		c, err := newCluster(cfg)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
 		window := depth - 3
 		if window < 1 {
@@ -433,16 +454,32 @@ func AblationDepth(seed uint64, scale Scale) (*Report, error) {
 			end = f.Now()
 		})
 		if err := c.runToStop(60 * sim.Second); err != nil {
-			return nil, err
+			return 0, err
 		}
 		if runErr != nil {
-			return nil, fmt.Errorf("depth %d: %w", depth, runErr)
+			return 0, fmt.Errorf("depth %d: %w", depth, runErr)
 		}
 		if end == 0 {
-			return nil, fmt.Errorf("depth %d: did not finish", depth)
+			return 0, fmt.Errorf("depth %d: did not finish", depth)
 		}
-		kops := float64(ops) / end.Sub(start).Seconds() / 1000
-		tbl.AddRow(depth, fmt.Sprintf("%.1f", kops))
+		return float64(ops) / end.Sub(start).Seconds() / 1000, nil
+	}
+	depths := []int{4, 8, 16, 32, 64}
+	kops := make([]float64, len(depths))
+	if err := forEach(len(depths), func(j int) error {
+		k, err := measure(depths[j])
+		if err != nil {
+			return err
+		}
+		kops[j] = k
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	tbl := metrics.NewTable("Ablation: pre-armed window depth vs pipelined gWRITE throughput (1KB)",
+		"depth", "Kops/s")
+	for j, depth := range depths {
+		tbl.AddRow(depth, fmt.Sprintf("%.1f", kops[j]))
 	}
 	return &Report{
 		ID: "abl-depth", Title: "Ablation: chain window depth",
@@ -503,14 +540,19 @@ func AblationFanout(seed uint64, scale Scale) (*Report, error) {
 		}
 		return res{h: h, primaryTx: primaryTx, maxTx: maxTx}, nil
 	}
-	chain, err := measure(false)
-	if err != nil {
+	topos := []bool{false, true}
+	results := make([]res, len(topos))
+	if err := forEach(len(topos), func(j int) error {
+		r, err := measure(topos[j])
+		if err != nil {
+			return err
+		}
+		results[j] = r
+		return nil
+	}); err != nil {
 		return nil, err
 	}
-	fan, err := measure(true)
-	if err != nil {
-		return nil, err
-	}
+	chain, fan := results[0], results[1]
 	tbl := metrics.NewTable("Ablation: chain vs fan-out topology (1KB durable gWRITE, G=3)",
 		"topology", "avg", "p99", "head/primary TX", "max member TX")
 	tbl.AddRow("chain", chain.h.MeanDuration(), chain.h.PercentileDuration(99),
@@ -531,6 +573,10 @@ func AblationFanout(seed uint64, scale Scale) (*Report, error) {
 // into weaker models: full ACID transactions, eventually-consistent reads
 // (log execution off the critical path), RAMCloud-like semantics (skip the
 // durability primitive), and replicated-cache semantics (no log at all).
+//
+// This experiment stays serial: all four modes deliberately share one
+// cluster and one txn store (the spectrum is measured on the same state),
+// so the trials are not independent jobs forEach could run concurrently.
 func AblationConsistency(seed uint64, scale Scale) (*Report, error) {
 	ops := scale.pick(300, 5000)
 	c, err := microCluster(seed, BackendHyperLoop, 3, false)

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// procs holds the configured trial parallelism; 0 means GOMAXPROCS.
+var procs atomic.Int32
+
+// SetParallelism sets how many trials may run concurrently (0 restores the
+// default of GOMAXPROCS) and returns the previous setting. Each trial owns
+// a private sim.Kernel, so concurrency never changes virtual-time results:
+// reports are byte-identical at any parallelism level.
+func SetParallelism(n int) int {
+	return int(procs.Swap(int32(n)))
+}
+
+// Parallelism returns the effective number of concurrent trial workers.
+func Parallelism() int {
+	if p := procs.Load(); p > 0 {
+		return int(p)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// forEach runs job(0..n-1) on up to Parallelism() workers and waits for all
+// of them. Each job must be self-contained (build its own cluster/kernel and
+// write results into its own index slot). When several jobs fail, the error
+// of the lowest index is returned — the same one the serial loop would have
+// hit first — so error reporting is deterministic under any scheduling.
+func forEach(n int, job func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers := Parallelism()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := job(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = job(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -2,6 +2,7 @@ package rdma
 
 import (
 	"fmt"
+	"math/bits"
 
 	"hyperloop/internal/nvm"
 	"hyperloop/internal/sim"
@@ -59,6 +60,49 @@ type Fabric struct {
 	// bytesOnWire counts total payload+header bytes transmitted.
 	bytesOnWire int64
 	msgs        int64
+
+	// bufs recycles payload scratch buffers by power-of-two size class.
+	// The fabric is single-threaded (one kernel), so no locking; buffers
+	// are returned once the responder has applied the message or the
+	// requester has consumed the response.
+	bufs [bufClasses][][]byte
+}
+
+// bufClasses covers scratch buffers up to 1<<(bufClasses-1) = 32 MB;
+// larger requests fall through to plain allocation.
+const bufClasses = 26
+
+// getBuf returns a length-n scratch buffer, reusing a pooled one when
+// available. The contents are undefined; every user overwrites them fully.
+func (f *Fabric) getBuf(n int) []byte {
+	if n <= 0 {
+		return nil
+	}
+	c := bits.Len(uint(n - 1))
+	if c >= bufClasses {
+		return make([]byte, n)
+	}
+	if l := len(f.bufs[c]); l > 0 {
+		b := f.bufs[c][l-1]
+		f.bufs[c][l-1] = nil
+		f.bufs[c] = f.bufs[c][:l-1]
+		return b[:n]
+	}
+	return make([]byte, n, 1<<c)
+}
+
+// putBuf returns a scratch buffer to the pool. Only buffers with exact
+// power-of-two capacity (the shape getBuf produces) are kept, so passing a
+// foreign slice is harmless.
+func (f *Fabric) putBuf(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	c := bits.Len(uint(cap(b))) - 1
+	if 1<<c != cap(b) || c >= bufClasses {
+		return
+	}
+	f.bufs[c] = append(f.bufs[c], b[:cap(b)])
 }
 
 // NewFabric creates a fabric driven by kernel k.

@@ -238,6 +238,7 @@ func (n *NIC) CreateQP(cfg QPConfig) (*QP, error) {
 		sendCQ:    cfg.SendCQ,
 		recvCQ:    cfg.RecvCQ,
 	}
+	qp.initCallbacks()
 	n.qps[qp.qpn] = qp
 	return qp, nil
 }
@@ -269,10 +270,10 @@ func (n *NIC) send(to *QP, size int, deliver func()) {
 	}
 	to.lastArrival = at
 	targetNIC := to.nic
-	f.k.At(at, func() {
+	f.k.AtFunc(at, func() {
 		if targetNIC.down {
 			return // dropped; sender times out at a higher layer
 		}
 		deliver()
-	})
+	}, nil)
 }

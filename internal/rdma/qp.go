@@ -89,6 +89,36 @@ type QP struct {
 	rnrWaiting    bool
 
 	lastArrival sim.Time // FIFO clamp for inbound delivery
+
+	// Cached callbacks: the engine schedules these thousands of times per
+	// simulated op, so they are allocated once per QP, with the pending
+	// state (inReply/inSt/inResp) carried on the struct. Each has at most
+	// one outstanding invocation (guarded by pumpBusy / inboxBusy /
+	// rnrWaiting), so the shared state cannot be clobbered.
+	pumpFn       func()
+	pumpResumeFn func()
+	inboxFn      func()
+	inboxDoneFn  func()
+	rnrRetryFn   func()
+
+	inReply func(st Status, payload []byte)
+	inSt    Status
+	inResp  []byte
+}
+
+// initCallbacks builds the per-QP cached callbacks; called from CreateQP.
+func (q *QP) initCallbacks() {
+	q.pumpFn = q.pump
+	q.pumpResumeFn = func() {
+		q.pumpBusy = false
+		q.pump()
+	}
+	q.inboxFn = q.processInbox
+	q.inboxDoneFn = q.finishInbox
+	q.rnrRetryFn = func() {
+		q.rnrWaiting = false
+		q.processInbox()
+	}
 }
 
 // QPN returns the queue pair number.
@@ -207,7 +237,7 @@ func (q *QP) PostRecv(r RecvWQE) {
 	q.recvQueue = append(q.recvQueue, r)
 	if q.rnrWaiting {
 		q.rnrWaiting = false
-		q.nic.fabric.k.After(0, q.processInbox)
+		q.nic.fabric.k.AfterFunc(0, q.inboxFn, nil)
 	}
 }
 
@@ -220,7 +250,7 @@ func (q *QP) Doorbell() {
 		return
 	}
 	q.pumpScheduled = true
-	q.nic.fabric.k.After(0, q.pump)
+	q.nic.fabric.k.AfterFunc(0, q.pumpFn, nil)
 }
 
 // pump executes send WQEs in ring order until it stalls (un-owned WQE,
@@ -294,12 +324,13 @@ func (q *QP) execute(w WQE) {
 
 	case OpMemcpy:
 		st := StatusSuccess
-		data := make([]byte, w.Len)
+		data := n.fabric.getBuf(int(w.Len))
 		if err := n.mem.Read(int(w.Local), data); err != nil {
 			st = StatusLocalError
 		} else if err := n.mem.Write(int(w.Remote), data); err != nil {
 			st = StatusLocalError
 		}
+		n.fabric.putBuf(data)
 		occ := cfg.WQEProc + sim.Duration(float64(w.Len)*8/cfg.MemCopyBps*1e9)
 		q.completeAfter(w, st, occ)
 		q.advance(w, occ)
@@ -310,8 +341,9 @@ func (q *QP) execute(w WQE) {
 			q.advance(w, cfg.WQEProc)
 			return
 		}
-		payload := make([]byte, w.Len)
+		payload := n.fabric.getBuf(int(w.Len))
 		if err := n.mem.Read(int(w.Local), payload); err != nil {
+			n.fabric.putBuf(payload)
 			q.completeLocal(w, StatusLocalError)
 			q.advance(w, cfg.WQEProc)
 			return
@@ -340,6 +372,8 @@ func (q *QP) execute(w WQE) {
 			length: w.Len,
 			rkey:   w.Aux1,
 		}, 0, func(payload []byte) Status {
+			// payload is a pooled scratch buffer owned by handleAck; the
+			// device write below copies it out.
 			if err := n.mem.Write(int(local), payload); err != nil {
 				return StatusLocalError
 			}
@@ -412,6 +446,9 @@ func (q *QP) handleAck(st Status, payload []byte) {
 	op := q.pending[0]
 	q.pending = append(q.pending[:0], q.pending[1:]...)
 	op.complete(st, payload)
+	// Response payloads (READ/CAS results) are consumed inside complete;
+	// recycle the scratch buffer.
+	q.nic.fabric.putBuf(payload)
 }
 
 // completeLocal pushes a send completion immediately (local-only ops).
@@ -422,9 +459,9 @@ func (q *QP) completeLocal(w WQE, st Status) {
 // completeAfter pushes a send completion after a delay (local ops with
 // duration, e.g. MEMCPY).
 func (q *QP) completeAfter(w WQE, st Status, d sim.Duration) {
-	q.nic.fabric.k.After(d, func() {
+	q.nic.fabric.k.AfterFunc(d, func() {
 		q.pushSendCompletion(w, st, int(w.Len))
-	})
+	}, nil)
 }
 
 func (q *QP) pushSendCompletion(w WQE, st Status, n int) {
@@ -448,10 +485,7 @@ func (q *QP) advance(_ WQE, occupancy sim.Duration) {
 	_ = q.setOwned(q.head, false)
 	q.head++
 	q.pumpBusy = true
-	q.nic.fabric.k.After(occupancy, func() {
-		q.pumpBusy = false
-		q.pump()
-	})
+	q.nic.fabric.k.AfterFunc(occupancy, q.pumpResumeFn, nil)
 }
 
 // enqueueInbox receives a transport message at the responder.
@@ -473,10 +507,7 @@ func (q *QP) processInbox() {
 	if (m.kind == inSend || m.kind == inWriteImm) && len(q.recvQueue) == 0 {
 		if !q.rnrWaiting {
 			q.rnrWaiting = true
-			q.nic.fabric.k.After(q.nic.fabric.cfg.RNRRetryDelay, func() {
-				q.rnrWaiting = false
-				q.processInbox()
-			})
+			q.nic.fabric.k.AfterFunc(q.nic.fabric.cfg.RNRRetryDelay, q.rnrRetryFn, nil)
 		}
 		return
 	}
@@ -486,13 +517,23 @@ func (q *QP) processInbox() {
 	occ := cfg.WQEProc
 	st, resp, extra := q.applyInbound(m)
 	occ += extra
-	q.nic.fabric.k.After(occ, func() {
-		q.inboxBusy = false
-		if m.reply != nil {
-			m.reply(st, resp)
-		}
-		q.processInbox()
-	})
+	// The request payload has been applied to memory; recycle it before the
+	// occupancy delay so back-to-back messages reuse the same buffer.
+	q.nic.fabric.putBuf(m.payload)
+	q.inReply, q.inSt, q.inResp = m.reply, st, resp
+	q.nic.fabric.k.AfterFunc(occ, q.inboxDoneFn, nil)
+}
+
+// finishInbox completes the in-flight inbound message after its occupancy
+// delay: it sends the reply (if any) and resumes inbox processing.
+func (q *QP) finishInbox() {
+	q.inboxBusy = false
+	reply, st, resp := q.inReply, q.inSt, q.inResp
+	q.inReply, q.inResp = nil, nil
+	if reply != nil {
+		reply(st, resp)
+	}
+	q.processInbox()
 }
 
 // applyInbound performs the memory effect of an inbound message and
@@ -560,8 +601,9 @@ func (q *QP) applyInbound(m inMsg) (Status, []byte, sim.Duration) {
 		if _, err := n.lookupMR(m.rkey, m.addr, m.length, AccessRemoteRead); err != nil {
 			return StatusRemoteAccessError, nil, 0
 		}
-		buf := make([]byte, m.length)
+		buf := n.fabric.getBuf(int(m.length))
 		if err := n.mem.Read(int(m.addr), buf); err != nil {
+			n.fabric.putBuf(buf)
 			return StatusRemoteAccessError, nil, 0
 		}
 		return StatusSuccess, buf, 0

@@ -16,6 +16,8 @@ type Fiber struct {
 	resume chan struct{}
 	yield  chan struct{}
 	exited bool
+
+	dispatchFn func() // cached method value: one closure per fiber, not per block
 }
 
 // Spawn starts fn as a fiber at the current instant. fn runs until it
@@ -27,7 +29,8 @@ func (k *Kernel) Spawn(name string, fn func(f *Fiber)) {
 		resume: make(chan struct{}),
 		yield:  make(chan struct{}),
 	}
-	k.After(0, func() {
+	f.dispatchFn = f.dispatch
+	k.AfterFunc(0, func() {
 		k.fibers++
 		go func() {
 			<-f.resume
@@ -37,7 +40,7 @@ func (k *Kernel) Spawn(name string, fn func(f *Fiber)) {
 			f.yield <- struct{}{}
 		}()
 		f.dispatch()
-	})
+	}, nil)
 }
 
 // dispatch transfers control into the fiber and blocks until it yields or
@@ -65,7 +68,7 @@ func (f *Fiber) Now() Time { return f.k.Now() }
 
 // Sleep blocks the fiber for virtual duration d.
 func (f *Fiber) Sleep(d Duration) {
-	f.k.After(d, f.dispatch)
+	f.k.AfterFunc(d, f.dispatchFn, nil)
 	f.pause()
 }
 
@@ -73,7 +76,7 @@ func (f *Fiber) Sleep(d Duration) {
 // already fired it returns immediately.
 func (f *Fiber) Await(s *Signal) error {
 	if !s.fired {
-		s.subscribe(f.dispatch)
+		s.subscribe(f.dispatchFn)
 		f.pause()
 	}
 	return s.err

@@ -4,12 +4,15 @@
 // multi-tenant CPU scheduler — are driven by a single Kernel that advances a
 // virtual clock. Events scheduled for the same instant fire in insertion
 // order, so a run is bit-reproducible given the same seed.
+//
+// A Kernel is single-threaded, but independent Kernels are fully isolated
+// and may run concurrently on separate goroutines — the property the
+// parallel experiment runner (internal/experiments) exploits.
 package sim
 
 import (
-	"container/heap"
 	"errors"
-	"fmt"
+	"sync/atomic"
 	"time"
 )
 
@@ -38,69 +41,60 @@ func (t Time) Sub(u Time) Duration { return Duration(t - u) }
 // String formats the instant as a duration offset, e.g. "1.5ms".
 func (t Time) String() string { return Duration(t).String() }
 
-// event is a scheduled callback.
+// event is a scheduled callback. Events are recycled through a per-kernel
+// free list; gen distinguishes incarnations so a stale Timer can never
+// cancel a recycled event.
 type event struct {
+	fn    func()
+	seq   uint64
+	gen   uint32
+	index int32 // heap index; -1 when not queued
+}
+
+// heapEntry keeps the ordering key inline so sift operations compare
+// without chasing the event pointer.
+type heapEntry struct {
 	at  Time
 	seq uint64 // tie-break: FIFO among same-instant events
-	fn  func()
-
-	index int // heap index; -1 when cancelled
+	ev  *event
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-
-func (h *eventHeap) Push(x any) {
-	ev, ok := x.(*event)
-	if !ok {
-		return
-	}
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
-}
-
-// Timer is a handle to a scheduled event that can be cancelled.
+// Timer is a handle to a scheduled event that can be cancelled. The zero
+// value is an unarmed timer, ready for use with AfterFunc/AtFunc.
 type Timer struct {
-	k  *Kernel
-	ev *event
+	k   *Kernel
+	ev  *event
+	gen uint32
 }
 
 // Stop cancels the timer. It reports whether the event had not yet fired.
+// Stopping a timer whose event already fired is a no-op, even if the
+// underlying event struct has since been recycled for another callback.
 func (t *Timer) Stop() bool {
-	if t == nil || t.ev == nil || t.ev.index < 0 {
+	if t == nil || t.ev == nil {
 		return false
 	}
-	heap.Remove(&t.k.events, t.ev.index)
+	ev := t.ev
 	t.ev = nil
+	if ev.gen != t.gen || ev.index < 0 {
+		return false
+	}
+	t.k.heapRemove(int(ev.index))
+	t.k.release(ev)
 	return true
 }
 
 // ErrStopped is returned by Run when StopRun was called.
 var ErrStopped = errors.New("sim: run stopped")
+
+// totalEvents accumulates executed-event counts across all kernels in the
+// process; each kernel flushes its delta when a top-level Run returns.
+var totalEvents atomic.Int64
+
+// TotalEvents returns the number of events executed process-wide across all
+// kernels whose top-level Run has returned. The bench harness samples it
+// around an experiment to report events/sec.
+func TotalEvents() int64 { return totalEvents.Load() }
 
 // Kernel is the discrete-event simulation core. It is not safe for
 // concurrent use; fibers hand control back and forth cooperatively so all
@@ -108,11 +102,16 @@ var ErrStopped = errors.New("sim: run stopped")
 type Kernel struct {
 	now     Time
 	seq     uint64
-	events  eventHeap
+	events  []heapEntry
+	free    []*event
 	rng     *RNG
 	stopped bool
+	depth   int  // Run re-entry depth (RunUntil nests inside event callbacks)
 	limit   Time // 0 = no limit
 	fibers  int  // live fiber count, for leak detection
+
+	executed int64
+	flushed  int64 // portion of executed already added to totalEvents
 }
 
 // NewKernel returns a kernel with its clock at zero and a deterministic RNG
@@ -127,17 +126,122 @@ func (k *Kernel) Now() Time { return k.now }
 // RNG returns the kernel's deterministic random source.
 func (k *Kernel) RNG() *RNG { return k.rng }
 
+// Executed returns the number of events this kernel has executed.
+func (k *Kernel) Executed() int64 { return k.executed }
+
+// alloc takes an event from the free list (or the heap allocator) and arms
+// it with fn and a fresh sequence number.
+func (k *Kernel) alloc(fn func()) *event {
+	k.seq++
+	var ev *event
+	if n := len(k.free); n > 0 {
+		ev = k.free[n-1]
+		k.free[n-1] = nil
+		k.free = k.free[:n-1]
+	} else {
+		ev = &event{}
+	}
+	ev.fn = fn
+	ev.seq = k.seq
+	ev.index = -1
+	return ev
+}
+
+// release returns a fired or cancelled event to the free list, bumping its
+// generation so outstanding Timer handles go stale.
+func (k *Kernel) release(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	k.free = append(k.free, ev)
+}
+
+func (k *Kernel) heapLess(i, j int) bool {
+	a, b := &k.events[i], &k.events[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (k *Kernel) heapSwap(i, j int) {
+	h := k.events
+	h[i], h[j] = h[j], h[i]
+	h[i].ev.index = int32(i)
+	h[j].ev.index = int32(j)
+}
+
+func (k *Kernel) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !k.heapLess(i, parent) {
+			break
+		}
+		k.heapSwap(i, parent)
+		i = parent
+	}
+}
+
+func (k *Kernel) siftDown(i int) bool {
+	n := len(k.events)
+	i0 := i
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		j := l
+		if r := l + 1; r < n && k.heapLess(r, l) {
+			j = r
+		}
+		if !k.heapLess(j, i) {
+			break
+		}
+		k.heapSwap(i, j)
+		i = j
+	}
+	return i > i0
+}
+
+func (k *Kernel) heapPush(at Time, ev *event) {
+	ev.index = int32(len(k.events))
+	k.events = append(k.events, heapEntry{at: at, seq: ev.seq, ev: ev})
+	k.siftUp(len(k.events) - 1)
+}
+
+func (k *Kernel) heapRemove(i int) *event {
+	n := len(k.events) - 1
+	ev := k.events[i].ev
+	if i != n {
+		k.events[i] = k.events[n]
+		k.events[i].ev.index = int32(i)
+	}
+	k.events[n] = heapEntry{}
+	k.events = k.events[:n]
+	if i < n {
+		if !k.siftDown(i) {
+			k.siftUp(i)
+		}
+	}
+	ev.index = -1
+	return ev
+}
+
+// schedule queues fn at instant t (clamped to now) and returns its event.
+func (k *Kernel) schedule(t Time, fn func()) *event {
+	if t < k.now {
+		t = k.now
+	}
+	ev := k.alloc(fn)
+	k.heapPush(t, ev)
+	return ev
+}
+
 // At schedules fn to run at instant t. Scheduling in the past is an error in
 // simulation logic; such events fire immediately at the current time instead
 // of rewinding the clock.
 func (k *Kernel) At(t Time, fn func()) *Timer {
-	if t < k.now {
-		t = k.now
-	}
-	k.seq++
-	ev := &event{at: t, seq: k.seq, fn: fn}
-	heap.Push(&k.events, ev)
-	return &Timer{k: k, ev: ev}
+	ev := k.schedule(t, fn)
+	return &Timer{k: k, ev: ev, gen: ev.gen}
 }
 
 // After schedules fn to run d from now.
@@ -148,29 +252,73 @@ func (k *Kernel) After(d Duration, fn func()) *Timer {
 	return k.At(k.now.Add(d), fn)
 }
 
+// AfterFunc schedules fn to run d from now, reusing the caller-provided
+// timer handle instead of allocating one. If t is still pending it is
+// stopped first; t may be nil for fire-and-forget callbacks that will never
+// be cancelled. This is the allocation-free path for hot schedulers (NIC
+// engines, the CPU scheduler, fiber sleeps) that keep at most one
+// outstanding callback per handle.
+func (k *Kernel) AfterFunc(d Duration, fn func(), t *Timer) {
+	if d < 0 {
+		d = 0
+	}
+	k.AtFunc(k.now.Add(d), fn, t)
+}
+
+// AtFunc is AfterFunc with an absolute instant.
+func (k *Kernel) AtFunc(at Time, fn func(), t *Timer) {
+	if t != nil {
+		t.Stop()
+	}
+	ev := k.schedule(at, fn)
+	if t != nil {
+		t.k = k
+		t.ev = ev
+		t.gen = ev.gen
+	}
+}
+
 // StopRun makes Run return after the current event completes.
 func (k *Kernel) StopRun() { k.stopped = true }
 
 // Run executes events in order until the queue drains, the optional limit is
 // reached, or StopRun is called. It returns ErrStopped in the latter case.
+//
+// Run may re-enter through RunUntil called from an event callback. The stop
+// flag is reset only at top-level entry, so a StopRun issued during a nested
+// RunUntil propagates out to the outer Run instead of being swallowed by the
+// nested call's own reset.
 func (k *Kernel) Run() error {
-	k.stopped = false
+	if k.depth == 0 {
+		k.stopped = false
+	}
+	k.depth++
+	defer k.exitRun()
 	for len(k.events) > 0 {
 		if k.stopped {
 			return ErrStopped
 		}
-		if k.limit > 0 && k.events[0].at > k.limit {
+		top := &k.events[0]
+		if k.limit > 0 && top.at > k.limit {
 			k.now = k.limit
 			return nil
 		}
-		ev, ok := heap.Pop(&k.events).(*event)
-		if !ok {
-			return fmt.Errorf("sim: corrupt event queue")
-		}
-		k.now = ev.at
-		ev.fn()
+		k.now = top.at
+		ev := k.heapRemove(0)
+		fn := ev.fn
+		k.release(ev) // before fn so the callback can reuse the slot
+		k.executed++
+		fn()
 	}
 	return nil
+}
+
+func (k *Kernel) exitRun() {
+	k.depth--
+	if k.depth == 0 && k.executed != k.flushed {
+		totalEvents.Add(k.executed - k.flushed)
+		k.flushed = k.executed
+	}
 }
 
 // RunUntil executes events up to and including instant t, then advances the
