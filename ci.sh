@@ -1,9 +1,34 @@
 #!/bin/sh
-# Tier-1 verification plus the race detector over the trial worker pool
-# and the simulation/RDMA hot paths.
+# Tier-1 verification: formatting, vet, the full suite, the race detector
+# over the trial worker pool and the simulation/RDMA hot paths, a quick
+# serial-vs-parallel determinism golden, and a baseline staleness check.
 set -eux
+
+# Formatting must be clean before anything else runs.
+badfmt=$(gofmt -l .)
+if [ -n "$badfmt" ]; then
+    echo "gofmt needed on: $badfmt" >&2
+    exit 1
+fi
 
 go vet ./...
 go build ./...
 go test ./...
 go test -race ./internal/experiments ./internal/sim ./internal/rdma ./internal/cpusim
+
+# BENCH_baseline.json must decode against the current -json schema and cover
+# the current experiment registry (also part of `go test ./...` above; run
+# it by name so a staleness failure is unmistakable in CI logs).
+go test ./cmd/hyperloop-bench -run TestBaselineMatchesSchema -count=1
+
+# Quick determinism golden: the bench output is virtual-time numbers, so it
+# must be byte-identical serial vs fully parallel once the wall-time-only
+# lines ("regenerated in") are stripped.
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+go build -o "$tmp/bench" ./cmd/hyperloop-bench
+"$tmp/bench" -exp all -scale quick -seed 1 -procs 1 |
+    grep -v 'regenerated in' > "$tmp/serial.norm"
+"$tmp/bench" -exp all -scale quick -seed 1 -procs 0 |
+    grep -v 'regenerated in' > "$tmp/parallel.norm"
+diff -u "$tmp/serial.norm" "$tmp/parallel.norm"

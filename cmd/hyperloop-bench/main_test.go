@@ -1,10 +1,15 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"reflect"
+	"sort"
 	"testing"
+
+	"hyperloop/internal/experiments"
 )
 
 func TestListFlag(t *testing.T) {
@@ -59,5 +64,81 @@ func TestJSONOutput(t *testing.T) {
 	e := rep.Experiments[0]
 	if e.SimEvents <= 0 || e.WallMS <= 0 || e.EventsPerSec <= 0 {
 		t.Fatalf("stats not populated: %+v", e)
+	}
+}
+
+// jsonKeys returns the sorted key set of a JSON object.
+func jsonKeys(t *testing.T, raw []byte) []string {
+	t.Helper()
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatalf("not a JSON object: %v", err)
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// TestBaselineMatchesSchema fails when the committed BENCH_baseline.json has
+// gone stale relative to the -json schema: fields the schema dropped, fields
+// it gained that the file lacks, or an experiment set that no longer matches
+// the registry. Refresh with:
+//
+//	go run ./cmd/hyperloop-bench -exp all -scale quick -seed 1 -procs 1 -json BENCH_baseline.json
+func TestBaselineMatchesSchema(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("..", "..", "BENCH_baseline.json"))
+	if err != nil {
+		t.Fatalf("read committed baseline: %v", err)
+	}
+	// Fields in the file that the schema dropped fail strict decoding.
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var rep benchReport
+	if err := dec.Decode(&rep); err != nil {
+		t.Fatalf("BENCH_baseline.json no longer decodes against benchReport — regenerate it: %v", err)
+	}
+	if len(rep.Experiments) == 0 {
+		t.Fatal("baseline has no experiments")
+	}
+	// Fields the schema gained show up as a key-set mismatch against a
+	// re-marshal of the decoded report.
+	remarshal, err := json.Marshal(&rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := jsonKeys(t, data), jsonKeys(t, remarshal); !reflect.DeepEqual(got, want) {
+		t.Fatalf("baseline top-level fields %v, schema has %v — regenerate it", got, want)
+	}
+	var fileExps, schemaExps struct {
+		Experiments []json.RawMessage `json:"experiments"`
+	}
+	if err := json.Unmarshal(data, &fileExps); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(remarshal, &schemaExps); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := jsonKeys(t, fileExps.Experiments[0]), jsonKeys(t, schemaExps.Experiments[0]); !reflect.DeepEqual(got, want) {
+		t.Fatalf("baseline experiment fields %v, schema has %v — regenerate it", got, want)
+	}
+	// The experiment list must match the registry's paper order exactly.
+	var ids []string
+	for _, e := range rep.Experiments {
+		ids = append(ids, e.ID)
+	}
+	if want := experiments.PaperOrder(); !reflect.DeepEqual(ids, want) {
+		t.Fatalf("baseline covers %v\nregistry has  %v — regenerate it", ids, want)
+	}
+	// Light sanity on values so an interrupted regeneration can't be committed.
+	if rep.Scale != "quick" || rep.Procs != 1 {
+		t.Fatalf("baseline must be -scale quick -procs 1, got scale=%q procs=%d", rep.Scale, rep.Procs)
+	}
+	for _, e := range rep.Experiments {
+		if e.WallMS <= 0 || e.Allocs == 0 {
+			t.Fatalf("experiment %s has empty stats: %+v", e.ID, e)
+		}
 	}
 }

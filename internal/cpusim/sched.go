@@ -158,6 +158,7 @@ type Scheduler struct {
 
 	clockV       sim.Duration // monotone floor for wakeup placement
 	ctxSwitches  int64
+	wakes        int64 // runnable transitions (see Wakes)
 	started      sim.Time
 	pinnedCores  int
 	dispatchPend bool
@@ -201,6 +202,12 @@ func (s *Scheduler) Cores() int { return s.cfg.Cores }
 
 // ContextSwitches returns the cumulative context-switch count.
 func (s *Scheduler) ContextSwitches() int64 { return s.ctxSwitches }
+
+// Wakes returns how many times a process became runnable (sleep→runnable
+// transitions). With batched CQ draining a handler wakes its process once
+// per drained batch rather than once per completion, so this counter is
+// the cheapest way to observe the batching in tests and benchmarks.
+func (s *Scheduler) Wakes() int64 { return s.wakes }
 
 // RunnableCount returns the number of queued (not running) processes.
 func (s *Scheduler) RunnableCount() int { return len(s.runq) }
@@ -298,6 +305,7 @@ func (s *Scheduler) wake(p *Proc) {
 	}
 	p.vruntime = min
 	p.wokeAt = s.k.Now()
+	s.wakes++
 	heap.Push(&s.runq, p)
 	s.scheduleDispatch()
 }

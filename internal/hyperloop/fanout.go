@@ -46,6 +46,8 @@ type FanoutGroup struct {
 
 	opsIssued    int64
 	opsCompleted int64
+
+	ackBuf []byte // onAck decode scratch, reused across ACKs
 }
 
 // fanPrimary holds the coordinator's NIC resources.
@@ -172,7 +174,8 @@ func SetupFanout(fab *rdma.Fabric, client *rdma.NIC, members []*rdma.NIC, cfg Co
 		g.qpAck.PostRecv(rdma.RecvWQE{})
 	}
 	g.installFanReArm()
-	g.qpAck.RecvCQ().SetHandler(g.onAck)
+	g.qpAck.RecvCQ().SetDrainHandler(g.onAcks)
+	g.qpHead.SendCQ().Discard() // client sends are unobserved
 	return g, nil
 }
 
@@ -292,7 +295,18 @@ func (g *FanoutGroup) setupPrimary(nic *rdma.NIC) error {
 		}
 		p.qpAckIn = append(p.qpAckIn, aqp)
 		p.ackCQs = append(p.ackCQs, ackCQ)
+		// ackCQ is a pure WAIT_ABS target; the rest are never read.
+		ackCQ.Discard()
+		aqp.SendCQ().Discard()
+		qp.SendCQ().Discard()
+		qp.RecvCQ().Discard()
 	}
+	// recvCQ/loopCQ drive WAIT thresholds only; the loopback receive side
+	// carries nothing. (qpClient's send CQ keeps entriesless drain mode via
+	// installFanReArm.)
+	p.recvCQ.Discard()
+	p.loopCQ.Discard()
+	p.qpLoop.RecvCQ().Discard()
 	g.primary = p
 	return nil
 }
@@ -351,7 +365,17 @@ func (g *FanoutGroup) setupBackup(b *fanBackup, nic *rdma.NIC) error {
 		SendRingOff: uint64(ackRing.Off), SendSlots: ackRing.Len / rdma.WQESize,
 		SendCQ: nic.CreateCQ(), RecvCQ: nic.CreateCQ(),
 	})
-	return err
+	if err != nil {
+		return err
+	}
+	// WAIT targets and never-read CQs, as on the primary. qpAck's send CQ
+	// gets its re-arm drain handler in installFanReArm.
+	b.recvCQ.Discard()
+	b.loopCQ.Discard()
+	b.qpPrev.SendCQ().Discard()
+	b.qpLoop.RecvCQ().Discard()
+	b.qpAck.RecvCQ().Discard()
+	return nil
 }
 
 func maxInt(a, b int) int {

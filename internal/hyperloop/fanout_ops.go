@@ -168,27 +168,31 @@ func (g *FanoutGroup) armBackup(b *fanBackup, seq uint64) error {
 // installFanReArm wires the off-critical-path chain replenishment.
 func (g *FanoutGroup) installFanReArm() {
 	p := g.primary
-	p.qpClient.SendCQ().SetHandler(func(e rdma.CQE) {
-		seq := p.completed
-		p.completed++
-		g.k.After(g.cfg.ReArmDelay, func() {
-			if p.nic.Down() {
-				return
-			}
-			_ = g.armPrimary(seq + uint64(g.cfg.Depth))
-		})
+	p.qpClient.SendCQ().SetDrainHandler(func(batch []rdma.CQE) {
+		for range batch {
+			seq := p.completed
+			p.completed++
+			g.k.After(g.cfg.ReArmDelay, func() {
+				if p.nic.Down() {
+					return
+				}
+				_ = g.armPrimary(seq + uint64(g.cfg.Depth))
+			})
+		}
 	})
 	for _, b := range g.backups {
 		b := b
-		b.qpAck.SendCQ().SetHandler(func(e rdma.CQE) {
-			seq := b.completed
-			b.completed++
-			g.k.After(g.cfg.ReArmDelay, func() {
-				if b.nic.Down() {
-					return
-				}
-				_ = g.armBackup(b, seq+uint64(g.cfg.Depth))
-			})
+		b.qpAck.SendCQ().SetDrainHandler(func(batch []rdma.CQE) {
+			for range batch {
+				seq := b.completed
+				b.completed++
+				g.k.After(g.cfg.ReArmDelay, func() {
+					if b.nic.Down() {
+						return
+					}
+					_ = g.armBackup(b, seq+uint64(g.cfg.Depth))
+				})
+			}
 		})
 	}
 }
@@ -379,10 +383,20 @@ func (g *FanoutGroup) applyLocally(kind opKind, p opParams) error {
 }
 
 // onAck resolves a completed fan-out operation.
+// onAcks handles a drained batch of group-ACK completions.
+func (g *FanoutGroup) onAcks(batch []rdma.CQE) {
+	for _, e := range batch {
+		g.onAck(e)
+	}
+}
+
 func (g *FanoutGroup) onAck(e rdma.CQE) {
 	g.qpAck.PostRecv(rdma.RecvWQE{})
 	slotAddr := int(g.clientAckAddr(uint64(e.Imm)))
-	buf := make([]byte, g.resultSlotLen())
+	if cap(g.ackBuf) < g.resultSlotLen() {
+		g.ackBuf = make([]byte, g.resultSlotLen())
+	}
+	buf := g.ackBuf[:g.resultSlotLen()]
 	if err := g.client.Memory().Read(slotAddr, buf); err != nil {
 		return
 	}

@@ -108,6 +108,8 @@ type Group struct {
 
 	opsIssued    int64
 	opsCompleted int64
+
+	ackBuf []byte // onAck decode scratch, reused across ACKs
 }
 
 // Setup builds a group over the given NICs. Every device must be large
@@ -165,8 +167,11 @@ func Setup(fab *rdma.Fabric, client *rdma.NIC, replicas []*rdma.NIC, cfg Config)
 	for i := 0; i < cfg.Depth; i++ {
 		g.qpAck.PostRecv(rdma.RecvWQE{})
 	}
-	g.qpAck.RecvCQ().SetHandler(g.onAck)
-	g.qpHead.SendCQ().SetHandler(g.onClientSendCQE)
+	g.qpAck.RecvCQ().SetDrainHandler(g.onAcks)
+	g.qpHead.SendCQ().SetDrainHandler(g.onClientSendCQEs)
+	// Counter-only CQs: nothing consumes their entries, so don't retain.
+	g.qpHead.RecvCQ().Discard()
+	g.qpAck.SendCQ().Discard()
 	return g, nil
 }
 
@@ -288,6 +293,14 @@ func (g *Group) setupReplica(index int, nic *rdma.NIC) (*replica, error) {
 		return nil, err
 	}
 	r.qpLoop.Connect(r.qpLoop) // loopback
+	// recvCQ and loopCQ are pure WAIT targets, and the anonymous CQs are
+	// never read at all; keep them as counters so the per-op completions
+	// (several per chained WQE) don't accumulate for the whole run.
+	r.recvCQ.Discard()
+	r.loopCQ.Discard()
+	r.qpPrev.SendCQ().Discard()
+	r.qpNext.RecvCQ().Discard()
+	r.qpLoop.RecvCQ().Discard()
 	return r, nil
 }
 
@@ -317,11 +330,21 @@ func (g *Group) InFlight() int { return len(g.inflight) }
 
 // onAck handles the tail's WRITE_WITH_IMM: it carries the op's result
 // block into the client's ACK buffer and its imm names the sequence.
+// onAcks handles a drained batch of group-ACK completions.
+func (g *Group) onAcks(batch []rdma.CQE) {
+	for _, e := range batch {
+		g.onAck(e)
+	}
+}
+
 func (g *Group) onAck(e rdma.CQE) {
 	g.qpAck.PostRecv(rdma.RecvWQE{}) // keep the ACK window replenished
 	slot := uint64(e.Imm) % uint64(g.cfg.Depth)
 	slotAddr := int(g.ackOff) + int(slot)*g.lay.ackSlotSize()
-	buf := make([]byte, g.lay.ackSlotSize())
+	if cap(g.ackBuf) < g.lay.ackSlotSize() {
+		g.ackBuf = make([]byte, g.lay.ackSlotSize())
+	}
+	buf := g.ackBuf[:g.lay.ackSlotSize()]
 	if err := g.client.Memory().Read(slotAddr, buf); err != nil {
 		return
 	}
@@ -344,7 +367,13 @@ func (g *Group) onAck(e rdma.CQE) {
 	op.sig.Fire(nil)
 }
 
-// onClientSendCQE resolves one-sided READs issued by the client.
+// onClientSendCQEs resolves one-sided READs issued by the client.
+func (g *Group) onClientSendCQEs(batch []rdma.CQE) {
+	for _, e := range batch {
+		g.onClientSendCQE(e)
+	}
+}
+
 func (g *Group) onClientSendCQE(e rdma.CQE) {
 	sig, ok := g.reads[e.WRID]
 	if !ok {

@@ -70,14 +70,16 @@ func (g *Group) arm(r *replica, seq uint64) error {
 // replica, so the chain for sequence seq+Depth can be posted. The re-arm
 // runs ReArmDelay later and costs no datapath time.
 func (g *Group) installReArm(r *replica) {
-	r.nextCQ.SetHandler(func(e rdma.CQE) {
-		seq := r.completed
-		r.completed++
-		g.k.After(g.cfg.ReArmDelay, func() {
-			if r.nic.Down() {
-				return
-			}
-			_ = g.arm(r, seq+uint64(g.cfg.Depth))
-		})
+	r.nextCQ.SetDrainHandler(func(batch []rdma.CQE) {
+		for range batch {
+			seq := r.completed
+			r.completed++
+			g.k.After(g.cfg.ReArmDelay, func() {
+				if r.nic.Down() {
+					return
+				}
+				_ = g.arm(r, seq+uint64(g.cfg.Depth))
+			})
+		}
 	})
 }

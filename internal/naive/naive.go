@@ -164,6 +164,12 @@ type replica struct {
 	stagingSlot int
 	isTail      bool
 	g           *Group
+
+	// Per-replica scratch, reused across handler invocations. Safe because
+	// the one-runner invariant serializes all handlers on a kernel and no
+	// buffer outlives the call that filled it.
+	scratch []byte // staging-slot decode buffer
+	copyBuf []byte // memcpy bounce buffer
 }
 
 type pendingOp struct {
@@ -193,6 +199,8 @@ type Group struct {
 
 	opsIssued    int64
 	opsCompleted int64
+
+	ackBuf []byte // onAck decode scratch, reused across ACKs
 }
 
 func (g *Group) msgLen() int { return headerSize + 8*g.groupSize }
@@ -252,7 +260,12 @@ func Setup(fab *rdma.Fabric, client *rdma.NIC, replicas []*rdma.NIC,
 	for i := 0; i < cfg.Depth; i++ {
 		g.qpAck.PostRecv(rdma.RecvWQE{})
 	}
-	g.qpAck.RecvCQ().SetHandler(g.onAck)
+	g.qpAck.RecvCQ().SetDrainHandler(g.onAcks)
+	// The remaining CQs carry no information the chain consumes; keep them
+	// as counters only so completions don't accumulate for the whole run.
+	g.qpHead.SendCQ().Discard()
+	g.qpHead.RecvCQ().Discard()
+	g.qpAck.SendCQ().Discard()
 	return g, nil
 }
 
@@ -362,13 +375,18 @@ func (g *Group) setupReplica(index int, nic *rdma.NIC, sched *cpusim.Scheduler) 
 // becomes CPU work for the replica process.
 func (r *replica) install() {
 	r.isTail = r.index == len(r.g.replicas)
-	r.qpPrev.RecvCQ().SetHandler(func(e rdma.CQE) {
-		if e.Status != rdma.StatusSuccess {
-			return
+	r.qpPrev.RecvCQ().SetDrainHandler(func(batch []rdma.CQE) {
+		for _, e := range batch {
+			if e.Status != rdma.StatusSuccess {
+				continue
+			}
+			slot := e.WRID
+			r.proc.Submit(r.handlerCost(slot), func() { r.handle(slot) })
 		}
-		slot := e.WRID
-		r.proc.Submit(r.handlerCost(slot), func() { r.handle(slot) })
 	})
+	r.qpPrev.SendCQ().Discard()
+	r.qpNext.SendCQ().Discard()
+	r.qpNext.RecvCQ().Discard()
 }
 
 // handlerCost computes the CPU time the handler will consume for the
@@ -405,7 +423,10 @@ func (g *Group) flushCost(size int) sim.Duration {
 func (r *replica) stagingBuf(slot uint64) []byte {
 	g := r.g
 	addr := int(r.stagingOff) + int(slot%uint64(g.cfg.Depth))*r.stagingSlot
-	buf := make([]byte, g.msgLen())
+	if cap(r.scratch) < g.msgLen() {
+		r.scratch = make([]byte, g.msgLen())
+	}
+	buf := r.scratch[:g.msgLen()]
 	_ = r.nic.Memory().Read(addr, buf)
 	return buf
 }
@@ -429,7 +450,10 @@ func (r *replica) handle(slot uint64) {
 			_, _ = mem.Flush(int(h.off), int(h.size))
 		}
 	case kindMemcpy:
-		data := make([]byte, h.size)
+		if cap(r.copyBuf) < int(h.size) {
+			r.copyBuf = make([]byte, h.size)
+		}
+		data := r.copyBuf[:h.size]
 		if err := mem.Read(int(h.src), data); err == nil {
 			_ = mem.Write(int(h.dst), data)
 		}
@@ -489,10 +513,20 @@ func (g *Group) ackAddr(seq uint64) uint64 {
 	return g.ackOff + (seq%uint64(g.cfg.Depth))*uint64(g.msgLen())
 }
 
+// onAcks handles a drained batch of tail ACK completions.
+func (g *Group) onAcks(batch []rdma.CQE) {
+	for _, e := range batch {
+		g.onAck(e)
+	}
+}
+
 func (g *Group) onAck(e rdma.CQE) {
 	g.qpAck.PostRecv(rdma.RecvWQE{})
 	slotAddr := int(g.ackAddr(uint64(e.Imm)))
-	buf := make([]byte, g.msgLen())
+	if cap(g.ackBuf) < g.msgLen() {
+		g.ackBuf = make([]byte, g.msgLen())
+	}
+	buf := g.ackBuf[:g.msgLen()]
 	if err := g.client.Memory().Read(slotAddr, buf); err != nil {
 		return
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"hyperloop/internal/nvm"
+	"hyperloop/internal/ring"
 	"hyperloop/internal/sim"
 )
 
@@ -72,62 +73,161 @@ func (s Status) String() string {
 
 // CQ is a completion queue. Completions accumulate for polling; an optional
 // handler is invoked on each completion (modelling an interrupt/event
-// channel); WAIT WQEs subscribe to the cumulative completion count.
+// channel); WAIT WQEs subscribe to the cumulative completion count with a
+// wake threshold, so a WAIT armed for N completions wakes once when the
+// N-th arrives instead of re-checking on every push.
+//
+// Re-entrancy rules for handlers (per-CQE and batch alike): a handler runs
+// synchronously inside the push — that is, inside the simulation event
+// that produced the completion — so it sees the CQ with the new entry
+// already accounted (Total includes it). A handler may post work requests,
+// ring doorbells, schedule events, and push onto *other* CQs, but every
+// path that would complete back onto the same CQ goes through a scheduled
+// event, never synchronously; a batch handler that does trigger a
+// same-instant push sees it folded into a follow-up batch of the same
+// drain loop, not a nested handler call.
 type CQ struct {
-	nic     *NIC
-	cqn     uint32
-	entries []CQE
+	nic *NIC
+	cqn uint32
+
+	entries ring.Ring[CQE] // unpolled completions (Poll/SetHandler modes)
 
 	total        int64 // cumulative completions ever pushed
 	waitConsumed int64 // completions consumed by WAIT WQEs
 
-	handler func(CQE)
-	waiters []func() // WAIT WQEs re-kicked on each push
+	handler      func(CQE)
+	drainHandler func([]CQE)
+	batch        []CQE // completions awaiting the drain handler
+	spare        []CQE // second buffer; batch/spare alternate, zero-alloc
+	draining     bool  // drain loop active; nested pushes only append
+
+	waiters []cqWaiter // parked WAIT WQEs, woken at their thresholds
+}
+
+// cqWaiter is a parked WAIT WQE: fn re-kicks the owning send queue once
+// the CQ's cumulative completion count reaches minTotal. The threshold is
+// a wake filter, not a grant — the woken engine re-validates against live
+// counters and re-parks (with a fresh threshold) if another consumer got
+// there first.
+type cqWaiter struct {
+	fn       func()
+	minTotal int64
 }
 
 // CQN returns the completion queue number.
 func (c *CQ) CQN() uint32 { return c.cqn }
 
-// SetHandler installs an event handler invoked on every completion. This is
-// the interrupt path the Naive-RDMA baseline uses; HyperLoop's datapath
-// never needs it.
+// SetHandler installs an event handler invoked once per completion, in
+// completion order. Entries are still retained for Poll — a per-CQE
+// handler observes completions but does not consume them. This is the
+// legacy interrupt path; datapath CQs use SetDrainHandler, which also
+// keeps the queue from growing without bound.
 func (c *CQ) SetHandler(h func(CQE)) { c.handler = h }
 
-// Poll removes and returns up to max pending completions.
+// SetDrainHandler installs a batched handler: each wake receives every
+// completion that is ready — the batch — and consumes them, so the CQ
+// retains nothing and Poll on the same CQ always returns empty. Any
+// completions pushed while the handler runs are delivered in a follow-up
+// batch of the same drain loop rather than nested calls (see the CQ
+// re-entrancy rules). Installing a drain handler also consumes whatever
+// entries had accumulated before installation, on the next push.
+//
+// The batch slice is owned by the CQ and recycled across wakes; handlers
+// must not retain it. Pass a non-nil handler (an empty func is the idiom
+// for counter-only CQs that exist solely for WAIT thresholds).
+func (c *CQ) SetDrainHandler(h func([]CQE)) { c.drainHandler = h }
+
+// Discard marks the CQ counter-only: completions still advance Total —
+// and therefore WAIT thresholds and waiter wakes — but no entries are
+// retained for Poll. Use for CQs that exist purely as WAIT targets or
+// whose completions carry no information; without it every completion
+// accumulates in the queue for the life of the run.
+func (c *CQ) Discard() { c.SetDrainHandler(discardCQEs) }
+
+func discardCQEs([]CQE) {}
+
+// Poll removes and returns up to max pending completions, oldest first.
+// Allocation note: Poll builds a fresh slice; steady-state datapaths use
+// SetDrainHandler and never poll.
 func (c *CQ) Poll(max int) []CQE {
-	if max <= 0 || len(c.entries) == 0 {
+	n := c.entries.Len()
+	if max <= 0 || n == 0 {
 		return nil
 	}
-	if max > len(c.entries) {
-		max = len(c.entries)
+	if max > n {
+		max = n
 	}
 	out := make([]CQE, max)
-	copy(out, c.entries[:max])
-	c.entries = append(c.entries[:0], c.entries[max:]...)
+	for i := range out {
+		out[i] = c.entries.PopFront()
+	}
 	return out
 }
 
-// Depth returns the number of unpolled completions.
-func (c *CQ) Depth() int { return len(c.entries) }
+// Depth returns the number of unpolled completions. A CQ in drain-handler
+// mode consumes eagerly, so its depth is zero between events.
+func (c *CQ) Depth() int { return c.entries.Len() }
 
 // Total returns the cumulative number of completions ever delivered.
 func (c *CQ) Total() int64 { return c.total }
 
 func (c *CQ) push(e CQE) {
 	e.At = c.nic.fabric.k.Now()
-	c.entries = append(c.entries, e)
 	c.total++
-	if c.handler != nil {
+	switch {
+	case c.drainHandler != nil:
+		// Migrate anything queued before the drain handler was installed
+		// so the first wake drains the full backlog.
+		for c.entries.Len() > 0 {
+			c.batch = append(c.batch, c.entries.PopFront())
+		}
+		c.batch = append(c.batch, e)
+		if !c.draining {
+			c.draining = true
+			for len(c.batch) > 0 {
+				ready := c.batch
+				c.batch = c.spare[:0]
+				c.drainHandler(ready)
+				c.spare = ready[:0]
+			}
+			c.draining = false
+		}
+	case c.handler != nil:
+		c.entries.PushBack(e)
 		c.handler(e)
+	default:
+		c.entries.PushBack(e)
 	}
-	ws := c.waiters
-	c.waiters = nil
-	for _, w := range ws {
-		w()
-	}
+	c.wakeWaiters()
 }
 
-func (c *CQ) subscribe(fn func()) { c.waiters = append(c.waiters, fn) }
+// wakeWaiters fires every parked waiter whose threshold is reached,
+// preserving subscription order among survivors. Waiter callbacks only
+// schedule doorbell events — they never subscribe synchronously — so the
+// in-place filter cannot observe a mutating waiter list.
+func (c *CQ) wakeWaiters() {
+	if len(c.waiters) == 0 {
+		return
+	}
+	kept := c.waiters[:0]
+	for _, w := range c.waiters {
+		if c.total >= w.minTotal {
+			w.fn()
+		} else {
+			kept = append(kept, w)
+		}
+	}
+	for i := len(kept); i < len(c.waiters); i++ {
+		c.waiters[i] = cqWaiter{}
+	}
+	c.waiters = kept
+}
+
+// subscribe parks fn until the cumulative completion count reaches
+// minTotal. The caller re-validates on wake; see cqWaiter.
+func (c *CQ) subscribe(fn func(), minTotal int64) {
+	c.waiters = append(c.waiters, cqWaiter{fn: fn, minTotal: minTotal})
+}
 
 // NIC is one host's RDMA network interface. Its WQE engine runs entirely in
 // simulation events — no cpusim process is involved — which is precisely

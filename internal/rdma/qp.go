@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"hyperloop/internal/ring"
 	"hyperloop/internal/sim"
 )
 
@@ -79,9 +80,12 @@ type QP struct {
 	head uint64 // next slot sequence to execute
 	tail uint64 // next slot sequence to post
 
-	recvQueue []RecvWQE
-	inbox     []inMsg
-	pending   []pendingOp
+	// FIFO queues are ring buffers: reliable-connection ordering pops
+	// strictly from the front, and a slice-shift pop would cost O(depth)
+	// per message on deep windows.
+	recvQueue ring.Ring[RecvWQE]
+	inbox     ring.Ring[inMsg]
+	pending   ring.Ring[pendingOp]
 
 	pumpScheduled bool
 	pumpBusy      bool
@@ -234,7 +238,7 @@ func (q *QP) PatchDescriptor(seq uint64, w WQE) error {
 // synchronously inside the caller, which could otherwise observe its own
 // half-finished setup (e.g. a receive posted before its WQE chains).
 func (q *QP) PostRecv(r RecvWQE) {
-	q.recvQueue = append(q.recvQueue, r)
+	q.recvQueue.PushBack(r)
 	if q.rnrWaiting {
 		q.rnrWaiting = false
 		q.nic.fabric.k.AfterFunc(0, q.inboxFn, nil)
@@ -242,7 +246,7 @@ func (q *QP) PostRecv(r RecvWQE) {
 }
 
 // RecvDepth returns the number of posted, unconsumed receives.
-func (q *QP) RecvDepth() int { return len(q.recvQueue) }
+func (q *QP) RecvDepth() int { return q.recvQueue.Len() }
 
 // Doorbell kicks the send engine.
 func (q *QP) Doorbell() {
@@ -285,9 +289,14 @@ func (q *QP) execWait(w WQE) {
 		q.finishSlot(w, StatusLocalError, 0)
 		return
 	}
+	// Unsatisfied WAITs park with a wake threshold: the CQ wakes this
+	// send queue once per satisfied WAIT, not once per CQE. A threshold
+	// can go stale when a competing WAIT consumes first; the re-executed
+	// WAIT below simply re-parks with a corrected threshold, so staleness
+	// costs one extra no-op pump, never correctness.
 	if w.Flags&FlagWaitAbs != 0 {
 		if cq.total < int64(w.Compare) {
-			cq.subscribe(q.Doorbell)
+			cq.subscribe(q.Doorbell, int64(w.Compare))
 			return
 		}
 	} else {
@@ -296,7 +305,7 @@ func (q *QP) execWait(w WQE) {
 			need = 1
 		}
 		if cq.total-cq.waitConsumed < need {
-			cq.subscribe(q.Doorbell)
+			cq.subscribe(q.Doorbell, cq.waitConsumed+need)
 			return
 		}
 		cq.waitConsumed += need
@@ -418,7 +427,7 @@ func (q *QP) execute(w WQE) {
 // post-processes the response payload at the requester.
 func (q *QP) issueRemote(w WQE, msg inMsg, wireBytes int, onReply func([]byte) Status) {
 	peer := q.peer
-	q.pending = append(q.pending, pendingOp{
+	q.pending.PushBack(pendingOp{
 		wqe: w,
 		complete: func(st Status, payload []byte) {
 			if st == StatusSuccess && onReply != nil {
@@ -440,11 +449,10 @@ func (q *QP) issueRemote(w WQE, msg inMsg, wireBytes int, onReply func([]byte) S
 }
 
 func (q *QP) handleAck(st Status, payload []byte) {
-	if len(q.pending) == 0 {
+	if q.pending.Len() == 0 {
 		return // response after QP reset; drop
 	}
-	op := q.pending[0]
-	q.pending = append(q.pending[:0], q.pending[1:]...)
+	op := q.pending.PopFront()
 	op.complete(st, payload)
 	// Response payloads (READ/CAS results) are consumed inside complete;
 	// recycle the scratch buffer.
@@ -490,7 +498,7 @@ func (q *QP) advance(_ WQE, occupancy sim.Duration) {
 
 // enqueueInbox receives a transport message at the responder.
 func (q *QP) enqueueInbox(m inMsg) {
-	q.inbox = append(q.inbox, m)
+	q.inbox.PushBack(m)
 	if !q.inboxBusy && !q.rnrWaiting {
 		q.processInbox()
 	}
@@ -500,18 +508,18 @@ func (q *QP) enqueueInbox(m inMsg) {
 // cost per message. A SEND/WRITE_WITH_IMM with no posted receive blocks the
 // queue (RNR) and retries.
 func (q *QP) processInbox() {
-	if q.inboxBusy || len(q.inbox) == 0 {
+	if q.inboxBusy || q.inbox.Len() == 0 {
 		return
 	}
-	m := q.inbox[0]
-	if (m.kind == inSend || m.kind == inWriteImm) && len(q.recvQueue) == 0 {
+	m := q.inbox.Front()
+	if (m.kind == inSend || m.kind == inWriteImm) && q.recvQueue.Len() == 0 {
 		if !q.rnrWaiting {
 			q.rnrWaiting = true
 			q.nic.fabric.k.AfterFunc(q.nic.fabric.cfg.RNRRetryDelay, q.rnrRetryFn, nil)
 		}
 		return
 	}
-	q.inbox = append(q.inbox[:0], q.inbox[1:]...)
+	q.inbox.PopFront()
 	q.inboxBusy = true
 	cfg := q.nic.fabric.cfg
 	occ := cfg.WQEProc
@@ -651,14 +659,12 @@ func (q *QP) applyInbound(m inMsg) (Status, []byte, sim.Duration) {
 }
 
 func (q *QP) popRecv() RecvWQE {
-	r := q.recvQueue[0]
-	q.recvQueue = append(q.recvQueue[:0], q.recvQueue[1:]...)
-	return r
+	return q.recvQueue.PopFront()
 }
 
 // DebugState summarizes the QP's engine state for diagnostics.
 func (q *QP) DebugState() string {
 	return fmt.Sprintf("head=%d tail=%d pending=%d inbox=%d recvs=%d pumpBusy=%v pumpSched=%v rnr=%v inboxBusy=%v",
-		q.head, q.tail, len(q.pending), len(q.inbox), len(q.recvQueue),
+		q.head, q.tail, q.pending.Len(), q.inbox.Len(), q.recvQueue.Len(),
 		q.pumpBusy, q.pumpScheduled, q.rnrWaiting, q.inboxBusy)
 }

@@ -1,0 +1,90 @@
+// Package ring provides a growable FIFO ring buffer.
+//
+// Several simulator hot paths maintain strictly-FIFO queues that used to be
+// plain slices shifted with append(q[:0], q[1:]...) on every pop — an O(n)
+// copy that turns long convoys (RDMA inboxes, pending-ACK windows, mutex
+// waiter queues) quadratic. Ring keeps a head/tail over a power-of-two
+// backing array so PushBack and PopFront are O(1) amortized, with no
+// allocation in steady state once the ring has grown to the workload's
+// high-water mark.
+//
+// The zero value is an empty, ready-to-use ring. Ring is not safe for
+// concurrent use; like the rest of the simulator it relies on the kernel's
+// single-runner discipline (see internal/sim).
+package ring
+
+// Ring is a FIFO queue over a circular buffer. The zero value is empty and
+// ready for use.
+type Ring[T any] struct {
+	buf  []T // len(buf) is always zero or a power of two
+	head int // index of the oldest element
+	n    int // number of elements
+}
+
+// Len returns the number of queued elements.
+func (r *Ring[T]) Len() int { return r.n }
+
+// grow doubles the backing array (minimum 8) and linearizes the contents.
+func (r *Ring[T]) grow() {
+	size := len(r.buf) * 2
+	if size == 0 {
+		size = 8
+	}
+	buf := make([]T, size)
+	for i := 0; i < r.n; i++ {
+		buf[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+	}
+	r.buf = buf
+	r.head = 0
+}
+
+// PushBack appends v at the tail.
+func (r *Ring[T]) PushBack(v T) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = v
+	r.n++
+}
+
+// Front returns the oldest element without removing it. It panics on an
+// empty ring, mirroring out-of-range slice indexing.
+func (r *Ring[T]) Front() T {
+	if r.n == 0 {
+		panic("ring: Front on empty ring")
+	}
+	return r.buf[r.head]
+}
+
+// PopFront removes and returns the oldest element, zeroing its slot so
+// pointer-bearing elements do not pin garbage. It panics on an empty ring.
+func (r *Ring[T]) PopFront() T {
+	if r.n == 0 {
+		panic("ring: PopFront on empty ring")
+	}
+	var zero T
+	v := r.buf[r.head]
+	r.buf[r.head] = zero
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+	return v
+}
+
+// At returns the i-th element from the front (0 = oldest). It panics if i
+// is out of range.
+func (r *Ring[T]) At(i int) T {
+	if i < 0 || i >= r.n {
+		panic("ring: index out of range")
+	}
+	return r.buf[(r.head+i)&(len(r.buf)-1)]
+}
+
+// Reset empties the ring, zeroing occupied slots but keeping the backing
+// array for reuse.
+func (r *Ring[T]) Reset() {
+	var zero T
+	for i := 0; i < r.n; i++ {
+		r.buf[(r.head+i)&(len(r.buf)-1)] = zero
+	}
+	r.head, r.n = 0, 0
+}

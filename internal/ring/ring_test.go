@@ -1,0 +1,92 @@
+package ring
+
+import "testing"
+
+func TestFIFOOrder(t *testing.T) {
+	var r Ring[int]
+	for i := 0; i < 1000; i++ {
+		r.PushBack(i)
+	}
+	if r.Len() != 1000 {
+		t.Fatalf("Len = %d, want 1000", r.Len())
+	}
+	for i := 0; i < 1000; i++ {
+		if got := r.Front(); got != i {
+			t.Fatalf("Front = %d, want %d", got, i)
+		}
+		if got := r.PopFront(); got != i {
+			t.Fatalf("PopFront = %d, want %d", got, i)
+		}
+	}
+	if r.Len() != 0 {
+		t.Fatalf("Len after drain = %d", r.Len())
+	}
+}
+
+// TestWrapAround interleaves pushes and pops so head wraps the backing
+// array repeatedly, cross-checking against a reference slice.
+func TestWrapAround(t *testing.T) {
+	var r Ring[int]
+	var ref []int
+	next := 0
+	for step := 0; step < 10000; step++ {
+		if step%3 != 0 || len(ref) == 0 {
+			r.PushBack(next)
+			ref = append(ref, next)
+			next++
+		} else {
+			want := ref[0]
+			ref = ref[1:]
+			if got := r.PopFront(); got != want {
+				t.Fatalf("step %d: PopFront = %d, want %d", step, got, want)
+			}
+		}
+		if r.Len() != len(ref) {
+			t.Fatalf("step %d: Len = %d, want %d", step, r.Len(), len(ref))
+		}
+	}
+	for i, want := range ref {
+		if got := r.At(i); got != want {
+			t.Fatalf("At(%d) = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestPopSlotZeroed(t *testing.T) {
+	var r Ring[*int]
+	v := new(int)
+	r.PushBack(v)
+	r.PopFront()
+	// The vacated slot must not pin v; peek at the backing array.
+	for _, p := range r.buf {
+		if p != nil {
+			t.Fatal("popped slot still holds a pointer")
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	var r Ring[int]
+	for i := 0; i < 20; i++ {
+		r.PushBack(i)
+	}
+	r.PopFront()
+	r.Reset()
+	if r.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", r.Len())
+	}
+	r.PushBack(7)
+	if r.Front() != 7 {
+		t.Fatal("ring unusable after Reset")
+	}
+}
+
+func TestEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PopFront on empty ring did not panic")
+		}
+	}()
+	var r Ring[int]
+	r.PopFront()
+}

@@ -1,13 +1,3 @@
-// Package sim provides a deterministic discrete-event simulation kernel.
-//
-// All HyperLoop components — the RDMA fabric, the NVM devices, and the
-// multi-tenant CPU scheduler — are driven by a single Kernel that advances a
-// virtual clock. Events scheduled for the same instant fire in insertion
-// order, so a run is bit-reproducible given the same seed.
-//
-// A Kernel is single-threaded, but independent Kernels are fully isolated
-// and may run concurrently on separate goroutines — the property the
-// parallel experiment runner (internal/experiments) exploits.
 package sim
 
 import (
@@ -110,6 +100,9 @@ type Kernel struct {
 	limit   Time // 0 = no limit
 	fibers  int  // live fiber count, for leak detection
 
+	fiberFree   []*Fiber // parked runner goroutines, reused across Spawns
+	fiberStarts int64    // runner goroutines ever created (pool misses)
+
 	executed int64
 	flushed  int64 // portion of executed already added to totalEvents
 }
@@ -170,9 +163,13 @@ func (k *Kernel) heapSwap(i, j int) {
 	h[j].ev.index = int32(j)
 }
 
+// The event queue is a 4-ary heap: half the depth of a binary heap means
+// half the swaps per sift, and the four children share a cache line of
+// heapEntries. Heap shape never affects simulation order — pops follow the
+// strict total order (at, seq), which any correct heap yields identically.
 func (k *Kernel) siftUp(i int) {
 	for i > 0 {
-		parent := (i - 1) / 2
+		parent := (i - 1) / 4
 		if !k.heapLess(i, parent) {
 			break
 		}
@@ -185,13 +182,19 @@ func (k *Kernel) siftDown(i int) bool {
 	n := len(k.events)
 	i0 := i
 	for {
-		l := 2*i + 1
+		l := 4*i + 1
 		if l >= n {
 			break
 		}
 		j := l
-		if r := l + 1; r < n && k.heapLess(r, l) {
-			j = r
+		hi := l + 4
+		if hi > n {
+			hi = n
+		}
+		for c := l + 1; c < hi; c++ {
+			if k.heapLess(c, j) {
+				j = c
+			}
 		}
 		if !k.heapLess(j, i) {
 			break
@@ -315,7 +318,14 @@ func (k *Kernel) Run() error {
 
 func (k *Kernel) exitRun() {
 	k.depth--
-	if k.depth == 0 && k.executed != k.flushed {
+	if k.depth != 0 {
+		return
+	}
+	// Retire pooled fiber runners at top-level exit: reuse amortizes the
+	// goroutine starts *within* a run (where the thousands of Spawns are),
+	// while a kernel dropped after Run leaks nothing.
+	k.drainFiberPool()
+	if k.executed != k.flushed {
 		totalEvents.Add(k.executed - k.flushed)
 		k.flushed = k.executed
 	}
@@ -340,3 +350,9 @@ func (k *Kernel) Pending() int { return len(k.events) }
 // LiveFibers reports the number of fibers that have started and not yet
 // exited; useful to assert that a scenario wound down cleanly.
 func (k *Kernel) LiveFibers() int { return k.fibers }
+
+// FiberStarts reports how many runner goroutines this kernel has ever
+// created. With the fiber pool, spawning N fibers sequentially costs one
+// goroutine start, not N; the delta across a workload measures pool misses
+// (it grows only with peak fiber concurrency per top-level Run).
+func (k *Kernel) FiberStarts() int64 { return k.fiberStarts }
