@@ -1,8 +1,13 @@
 #!/bin/sh
 # Tier-1 verification: formatting, vet, the full suite, the race detector
-# over the trial worker pool and the simulation/RDMA hot paths, a quick
-# serial-vs-parallel determinism golden, and a baseline staleness check.
+# over the trial worker pool and the simulation/RDMA hot paths, coverage
+# floors on the pooling-critical packages, short fuzz runs over the WQE
+# decoder and device reset, a quick serial-vs-parallel determinism golden,
+# and a baseline staleness check.
 set -eux
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
 
 # Formatting must be clean before anything else runs.
 badfmt=$(gofmt -l .)
@@ -16,6 +21,25 @@ go build ./...
 go test ./...
 go test -race ./internal/experiments ./internal/sim ./internal/rdma ./internal/cpusim
 
+# Coverage floors. nvm's dirty-range reset and ring's log are what device
+# pooling leans on for correctness, so their suites must stay thorough.
+covercheck() {
+    pkg=$1 floor=$2
+    go test -coverprofile "$tmp/cover.out" "$pkg"
+    pct=$(go tool cover -func "$tmp/cover.out" | awk '/^total:/ {sub(/%/, "", $3); print $3}')
+    if awk -v p="$pct" -v f="$floor" 'BEGIN { exit !(p < f) }'; then
+        echo "coverage for $pkg is ${pct}%, below the ${floor}% floor" >&2
+        exit 1
+    fi
+}
+covercheck ./internal/nvm 90
+covercheck ./internal/ring 90
+
+# Short fuzz runs: arbitrary 64-byte WQE slots through a live send ring,
+# and arbitrary workloads through Device.Reset-equals-fresh.
+go test ./internal/rdma -run='^$' -fuzz=FuzzWQEDecode -fuzztime=10s
+go test ./internal/nvm -run='^$' -fuzz=FuzzDeviceReset -fuzztime=10s
+
 # BENCH_baseline.json must decode against the current -json schema and cover
 # the current experiment registry (also part of `go test ./...` above; run
 # it by name so a staleness failure is unmistakable in CI logs).
@@ -24,8 +48,6 @@ go test ./cmd/hyperloop-bench -run TestBaselineMatchesSchema -count=1
 # Quick determinism golden: the bench output is virtual-time numbers, so it
 # must be byte-identical serial vs fully parallel once the wall-time-only
 # lines ("regenerated in") are stripped.
-tmp=$(mktemp -d)
-trap 'rm -rf "$tmp"' EXIT
 go build -o "$tmp/bench" ./cmd/hyperloop-bench
 "$tmp/bench" -exp all -scale quick -seed 1 -procs 1 |
     grep -v 'regenerated in' > "$tmp/serial.norm"

@@ -27,13 +27,24 @@ func main() {
 	}
 }
 
-// expStats is one experiment's entry in the -json report.
+// expStats is one experiment's entry in the -json report. The device_*
+// and kernel_* fields are trial-arena counters (deltas over the
+// experiment): device_bytes_zeroed vs device_bytes_demand shows how much
+// setup zeroing the dirty-range reset avoided relative to fresh
+// allocation per trial.
 type expStats struct {
 	ID           string  `json:"id"`
 	WallMS       float64 `json:"wall_ms"`
 	SimEvents    int64   `json:"sim_events"`
 	EventsPerSec float64 `json:"events_per_sec"`
 	Allocs       uint64  `json:"allocs"`
+
+	DeviceFresh       int64 `json:"device_fresh"`
+	DeviceReused      int64 `json:"device_reused"`
+	DeviceBytesZeroed int64 `json:"device_bytes_zeroed"`
+	DeviceBytesDemand int64 `json:"device_bytes_demand"`
+	KernelFresh       int64 `json:"kernel_fresh"`
+	KernelReused      int64 `json:"kernel_reused"`
 }
 
 // benchReport is the -json output: enough to compare perf across commits.
@@ -93,6 +104,7 @@ func run(args []string) error {
 		var ms runtime.MemStats
 		runtime.ReadMemStats(&ms)
 		allocs0, events0 := ms.Mallocs, sim.TotalEvents()
+		arena0 := experiments.Stats()
 		start := time.Now()
 		report, err := experiments.Run(id, *seed, sc)
 		if err != nil {
@@ -101,12 +113,20 @@ func run(args []string) error {
 		wall := time.Since(start)
 		runtime.ReadMemStats(&ms)
 		events := sim.TotalEvents() - events0
+		arena := experiments.Stats()
 		bench.Experiments = append(bench.Experiments, expStats{
 			ID:           id,
 			WallMS:       float64(wall.Microseconds()) / 1000,
 			SimEvents:    events,
 			EventsPerSec: float64(events) / wall.Seconds(),
 			Allocs:       ms.Mallocs - allocs0,
+
+			DeviceFresh:       arena.DeviceFresh - arena0.DeviceFresh,
+			DeviceReused:      arena.DeviceReused - arena0.DeviceReused,
+			DeviceBytesZeroed: arena.DeviceBytesZeroed - arena0.DeviceBytesZeroed,
+			DeviceBytesDemand: arena.DeviceBytesDemand - arena0.DeviceBytesDemand,
+			KernelFresh:       arena.KernelFresh - arena0.KernelFresh,
+			KernelReused:      arena.KernelReused - arena0.KernelReused,
 		})
 		fmt.Println(report)
 		fmt.Printf("(%s regenerated in %v wall time)\n\n", id, wall.Round(time.Millisecond))

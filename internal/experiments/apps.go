@@ -8,7 +8,6 @@ import (
 	"hyperloop/internal/kvstore"
 	"hyperloop/internal/metrics"
 	"hyperloop/internal/naive"
-	"hyperloop/internal/nvm"
 	"hyperloop/internal/rdma"
 	"hyperloop/internal/sim"
 	"hyperloop/internal/ycsb"
@@ -158,9 +157,9 @@ type fig2Cluster struct {
 	seed        uint64
 }
 
-func newFig2Cluster(seed uint64, nSets, coresPerServer, recordCount, opCount int) (*fig2Cluster, error) {
-	k := sim.NewKernel(seed)
-	fab := rdma.NewFabric(k, rdma.DefaultConfig())
+func newFig2Cluster(ar *trialArena, seed uint64, nSets, coresPerServer, recordCount, opCount int) (*fig2Cluster, error) {
+	k := ar.kernel(seed)
+	fab := ar.fabric(k, rdma.DefaultConfig())
 	const servers = 3
 	var scheds []*cpusim.Scheduler
 	for s := 0; s < servers; s++ {
@@ -174,14 +173,14 @@ func newFig2Cluster(seed uint64, nSets, coresPerServer, recordCount, opCount int
 	mirror := docstore.MirrorSizeFor(dcfg)
 	c := &fig2Cluster{k: k, scheds: scheds}
 	for i := 0; i < nSets; i++ {
-		client, err := fab.AddNIC(fmt.Sprintf("client-%d", i), nvm.NewDevice(fmt.Sprintf("client-%d", i), devSize(mirror)))
+		client, err := fab.AddNIC(fmt.Sprintf("client-%d", i), ar.device(fmt.Sprintf("client-%d", i), devSize(mirror)))
 		if err != nil {
 			return nil, err
 		}
 		var reps []*rdma.NIC
 		for s := 0; s < servers; s++ {
 			host := fmt.Sprintf("srv%d-set%d", s, i)
-			nic, err := fab.AddNIC(host, nvm.NewDevice(host, devSize(mirror)))
+			nic, err := fab.AddNIC(host, ar.device(host, devSize(mirror)))
 			if err != nil {
 				return nil, err
 			}
@@ -324,9 +323,9 @@ func Fig2a(seed uint64, scale Scale) (*Report, error) {
 		normalized float64
 	}
 	rows := make([]row, len(setCounts))
-	if err := forEach(len(setCounts), func(j int) error {
+	if err := forEach(len(setCounts), func(j int, ar *trialArena) error {
 		n := setCounts[j]
-		c, err := newFig2Cluster(seed, n, cores, recordCount, opCount)
+		c, err := newFig2Cluster(ar, seed, n, cores, recordCount, opCount)
 		if err != nil {
 			return err
 		}
@@ -377,9 +376,9 @@ func Fig2b(seed uint64, scale Scale) (*Report, error) {
 		ctx int64
 	}
 	points := make([]point, len(coreCounts))
-	if err := forEach(len(coreCounts), func(j int) error {
+	if err := forEach(len(coreCounts), func(j int, ar *trialArena) error {
 		cores := coreCounts[j]
-		c, err := newFig2Cluster(seed, nSets, cores, recordCount, opCount)
+		c, err := newFig2Cluster(ar, seed, nSets, cores, recordCount, opCount)
 		if err != nil {
 			return err
 		}
@@ -415,13 +414,14 @@ func Fig2b(seed uint64, scale Scale) (*Report, error) {
 
 // appCluster builds one kvstore or docstore deployment on the chosen
 // backend with multi-tenant co-location.
-func appCluster(seed uint64, backend Backend, mirror int) (*cluster, error) {
+func appCluster(ar *trialArena, seed uint64, backend Backend, mirror int) (*cluster, error) {
 	cfg := clusterCfg{
 		seed:     seed,
 		replicas: 3,
 		mirror:   mirror,
 		backend:  backend,
 		cores:    16,
+		ar:       ar,
 	}
 	cfg.multiTenantLoad()
 	return newCluster(cfg)
@@ -467,9 +467,9 @@ func Fig11(seed uint64, scale Scale) (*Report, error) {
 	}
 	backends := []Backend{BackendNaiveEvent, BackendNaivePolling, BackendHyperLoop}
 	hists := make([]*metrics.Histogram, len(backends))
-	if err := forEach(len(backends), func(j int) error {
+	if err := forEach(len(backends), func(j int, ar *trialArena) error {
 		b := backends[j]
-		c, err := appCluster(seed, b, mirror)
+		c, err := appCluster(ar, seed, b, mirror)
 		if err != nil {
 			return err
 		}
@@ -513,8 +513,8 @@ func Fig12(seed uint64, scale Scale) (*Report, error) {
 	recordCount := scale.pick(40, 150)
 	opCount := scale.pick(150, 1500)
 
-	measure := func(backend Backend, w ycsb.Workload) (*ycsb.Result, error) {
-		c, err := appCluster(seed, backend, mirror)
+	measure := func(ar *trialArena, backend Backend, w ycsb.Workload) (*ycsb.Result, error) {
+		c, err := appCluster(ar, seed, backend, mirror)
 		if err != nil {
 			return nil, err
 		}
@@ -535,9 +535,9 @@ func Fig12(seed uint64, scale Scale) (*Report, error) {
 	backends := []Backend{BackendNaivePolling, BackendHyperLoop}
 	names := []string{"native", "hyperloop"}
 	results := make([]*ycsb.Result, len(workloads)*len(backends))
-	if err := forEach(len(results), func(j int) error {
+	if err := forEach(len(results), func(j int, ar *trialArena) error {
 		wi, bi := j/len(backends), j%len(backends)
-		r, err := measure(backends[bi], workloads[wi])
+		r, err := measure(ar, backends[bi], workloads[wi])
 		if err != nil {
 			return fmt.Errorf("%s %s: %w", names[bi], workloads[wi].Name, err)
 		}

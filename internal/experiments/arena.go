@@ -1,0 +1,205 @@
+package experiments
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"hyperloop/internal/nvm"
+	"hyperloop/internal/rdma"
+	"hyperloop/internal/sim"
+)
+
+// poolingOff disables trial-state reuse; the golden determinism test flips
+// it to prove pooled and fresh lifecycles produce byte-identical reports.
+var poolingOff atomic.Bool
+
+// SetDevicePooling enables or disables reuse of devices, kernels, and
+// fabric payload pools across trials, returning the previous setting.
+// Pooling is wall-clock/GC-pressure only: virtual-time results are
+// byte-identical either way (asserted by TestPooledVsFreshIdentical).
+func SetDevicePooling(on bool) bool {
+	return !poolingOff.Swap(!on)
+}
+
+// trialArena owns the reusable simulation state of one trial worker:
+// pooled NVM devices (reset to their written ranges only, not
+// reallocated), pooled simulation kernels (event free lists and heap
+// capacity survive), and one fabric payload-buffer pool lent to each
+// trial's fabric. A trial acquires everything through the arena and the
+// worker releases the whole trial back in one endTrial call, so a
+// finished trial recycles its big allocations instead of dropping them on
+// the garbage collector at once.
+//
+// An arena is used by exactly one goroutine at a time (acquireArena /
+// releaseArena hand them out), so none of this needs locking.
+type trialArena struct {
+	devices nvm.DevicePool
+	kernels []*sim.Kernel
+	bufs    *rdma.BufPool
+
+	kernelGets, kernelPuts    int64
+	kernelFresh, kernelReused int64
+	kernelDropped             int64 // released with live fibers; not pooled
+	trialDevs                 []*nvm.Device
+	trialKernels              []*sim.Kernel
+}
+
+// kernel returns a kernel seeded like sim.NewKernel(seed), pooled when
+// possible. Safe on a nil arena (always fresh) so helpers outside the
+// worker pool keep working.
+func (a *trialArena) kernel(seed uint64) *sim.Kernel {
+	if a == nil || poolingOff.Load() {
+		return sim.NewKernel(seed)
+	}
+	a.kernelGets++
+	for n := len(a.kernels); n > 0; n = len(a.kernels) {
+		k := a.kernels[n-1]
+		a.kernels[n-1] = nil
+		a.kernels = a.kernels[:n-1]
+		if k.Reset(seed) {
+			a.kernelReused++
+			a.trialKernels = append(a.trialKernels, k)
+			return k
+		}
+	}
+	a.kernelFresh++
+	k := sim.NewKernel(seed)
+	a.trialKernels = append(a.trialKernels, k)
+	return k
+}
+
+// device returns a zeroed device, pooled by size when possible.
+func (a *trialArena) device(name string, size int) *nvm.Device {
+	if a == nil || poolingOff.Load() {
+		return nvm.NewDevice(name, size)
+	}
+	d := a.devices.Get(name, size)
+	a.trialDevs = append(a.trialDevs, d)
+	return d
+}
+
+// fabric builds a trial's fabric on k, drawing payload scratch buffers
+// from the arena's pool so they survive across trials.
+func (a *trialArena) fabric(k *sim.Kernel, cfg rdma.Config) *rdma.Fabric {
+	fab := rdma.NewFabric(k, cfg)
+	if a != nil && !poolingOff.Load() {
+		if a.bufs == nil {
+			a.bufs = &rdma.BufPool{}
+		}
+		fab.AdoptBufPool(a.bufs)
+	}
+	return fab
+}
+
+// endTrial releases everything the current trial acquired back to the
+// arena: devices are reset (zeroing only their written ranges) and
+// pooled, idle kernels are pooled for the next Reset, and the buffer pool
+// was shared all along. Safe on a nil arena.
+func (a *trialArena) endTrial() {
+	if a == nil {
+		return
+	}
+	for i, d := range a.trialDevs {
+		a.devices.Put(d)
+		a.trialDevs[i] = nil
+	}
+	a.trialDevs = a.trialDevs[:0]
+	for i, k := range a.trialKernels {
+		a.kernelPuts++
+		if k.LiveFibers() == 0 && !poolingOff.Load() {
+			a.kernels = append(a.kernels, k)
+		} else {
+			a.kernelDropped++
+		}
+		a.trialKernels[i] = nil
+	}
+	a.trialKernels = a.trialKernels[:0]
+}
+
+// arenas is the package-level pool of trial arenas. Workers check one out
+// for the duration of a forEach (or a withArena call), so arenas — and
+// the device/kernel/buffer state they carry — are reused across
+// experiments, not just across one experiment's trials.
+var arenas struct {
+	mu   sync.Mutex
+	free []*trialArena
+	all  []*trialArena
+}
+
+func acquireArena() *trialArena {
+	arenas.mu.Lock()
+	defer arenas.mu.Unlock()
+	if n := len(arenas.free); n > 0 {
+		a := arenas.free[n-1]
+		arenas.free[n-1] = nil
+		arenas.free = arenas.free[:n-1]
+		return a
+	}
+	a := &trialArena{}
+	arenas.all = append(arenas.all, a)
+	return a
+}
+
+func releaseArena(a *trialArena) {
+	a.endTrial() // a worker exiting mid-trial (job error) still releases
+	arenas.mu.Lock()
+	arenas.free = append(arenas.free, a)
+	arenas.mu.Unlock()
+}
+
+// withArena runs fn with a checked-out arena and releases its trial state
+// afterwards — the serial-path equivalent of one forEach worker, for
+// experiments that build clusters outside a worker pool.
+func withArena(fn func(ar *trialArena) error) error {
+	ar := acquireArena()
+	defer releaseArena(ar)
+	return fn(ar)
+}
+
+// ArenaStats aggregates trial-arena counters across all workers. The
+// bench harness samples it around each experiment; the deltas make the
+// pooling win observable (device_bytes_zeroed vs device_bytes_demand).
+type ArenaStats struct {
+	DeviceGets   int64 // devices acquired by trials
+	DevicePuts   int64 // devices released back (Gets-Puts = leaked)
+	DeviceFresh  int64 // acquisitions served by a new allocation
+	DeviceReused int64 // acquisitions served from a pool
+	DeviceIdle   int64 // devices sitting in pools right now
+
+	// DeviceBytesZeroed is the zeroing actually performed (full images on
+	// fresh allocation, written ranges only on reuse); DeviceBytesDemand
+	// is what allocating fresh per trial would have zeroed.
+	DeviceBytesZeroed int64
+	DeviceBytesDemand int64
+
+	KernelGets   int64
+	KernelPuts   int64
+	KernelFresh  int64
+	KernelReused int64
+	KernelIdle   int64
+}
+
+// Stats sums arena counters across all workers. Call it only while no
+// experiment is running (the counters are unsynchronized within a
+// worker); the bench harness samples between experiments.
+func Stats() ArenaStats {
+	arenas.mu.Lock()
+	defer arenas.mu.Unlock()
+	var s ArenaStats
+	for _, a := range arenas.all {
+		ds := a.devices.Stats()
+		s.DeviceGets += ds.Gets
+		s.DevicePuts += ds.Puts
+		s.DeviceFresh += ds.Fresh
+		s.DeviceReused += ds.Reused
+		s.DeviceIdle += int64(a.devices.Idle())
+		s.DeviceBytesZeroed += ds.BytesZeroed
+		s.DeviceBytesDemand += ds.BytesDemand
+		s.KernelGets += a.kernelGets
+		s.KernelPuts += a.kernelPuts
+		s.KernelFresh += a.kernelFresh
+		s.KernelReused += a.kernelReused
+		s.KernelIdle += int64(len(a.kernels))
+	}
+	return s
+}

@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"testing"
+
+	"hyperloop/internal/nvm"
+)
+
+// TestPooledVsFreshIdentical is the tentpole's golden test: trial-state
+// pooling (devices, kernels, fabric buffer pools) must never move a
+// virtual-time number. fig8a runs with pooling on and off, serially and
+// on a parallel worker pool, and every report must be byte-identical.
+func TestPooledVsFreshIdentical(t *testing.T) {
+	const seed = 42
+	prevProcs := Parallelism()
+	defer SetParallelism(prevProcs)
+	defer SetDevicePooling(SetDevicePooling(true))
+
+	for _, procs := range []int{1, 8} {
+		SetParallelism(procs)
+
+		SetDevicePooling(true)
+		pooled, err := Run("fig8a", seed, Quick)
+		if err != nil {
+			t.Fatalf("procs=%d pooled: %v", procs, err)
+		}
+		// Run pooled again so the second pass actually reuses state the
+		// first pass pooled — the path a fresh-pool run can't exercise.
+		pooledWarm, err := Run("fig8a", seed, Quick)
+		if err != nil {
+			t.Fatalf("procs=%d pooled warm: %v", procs, err)
+		}
+
+		SetDevicePooling(false)
+		fresh, err := Run("fig8a", seed, Quick)
+		if err != nil {
+			t.Fatalf("procs=%d fresh: %v", procs, err)
+		}
+
+		if p, f := pooled.String(), fresh.String(); p != f {
+			t.Errorf("procs=%d: pooled report differs from fresh:\n--- pooled ---\n%s\n--- fresh ---\n%s", procs, p, f)
+		}
+		if w, f := pooledWarm.String(), fresh.String(); w != f {
+			t.Errorf("procs=%d: warm pooled report differs from fresh:\n--- pooled(warm) ---\n%s\n--- fresh ---\n%s", procs, w, f)
+		}
+	}
+}
+
+// TestArenaStatsShowReuse pins the acceptance criterion for the PR: with
+// pooling on, a fig8a run reuses most devices and performs less than half
+// the setup zeroing that per-trial fresh allocation would (the dirty-range
+// reset only pays for bytes a trial actually wrote).
+func TestArenaStatsShowReuse(t *testing.T) {
+	prevProcs := SetParallelism(1)
+	defer SetParallelism(prevProcs)
+	defer SetDevicePooling(SetDevicePooling(true))
+	SetDevicePooling(true)
+
+	before := Stats()
+	if _, err := Run("fig8a", 1, Quick); err != nil {
+		t.Fatal(err)
+	}
+	after := Stats()
+
+	reused := after.DeviceReused - before.DeviceReused
+	gets := after.DeviceGets - before.DeviceGets
+	zeroed := after.DeviceBytesZeroed - before.DeviceBytesZeroed
+	demand := after.DeviceBytesDemand - before.DeviceBytesDemand
+	if gets == 0 {
+		t.Fatal("no device acquisitions recorded")
+	}
+	if reused == 0 {
+		t.Fatalf("no devices reused across %d acquisitions", gets)
+	}
+	if zeroed >= demand/2 {
+		t.Fatalf("device zeroing = %d of %d demanded bytes; want < 50%%", zeroed, demand)
+	}
+	if kr := after.KernelReused - before.KernelReused; kr == 0 {
+		t.Fatal("no kernels reused")
+	}
+}
+
+// TestArenaNoLeaks runs every experiment and asserts the trial arenas wind
+// down to their idle state: nothing checked out mid-trial, every pooled
+// kernel free of live fibers, every pooled device fully reset, and a
+// second full pass keeps pool populations at the first pass's baseline
+// (steady state, not growth).
+func TestArenaNoLeaks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment twice")
+	}
+	prevProcs := SetParallelism(1)
+	defer SetParallelism(prevProcs)
+	defer SetDevicePooling(SetDevicePooling(true))
+	SetDevicePooling(true)
+
+	runAll := func() {
+		for _, name := range Names() {
+			if _, err := Run(name, 7, Quick); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+		}
+	}
+	checkIdle := func(pass string) (devices, kernels int64) {
+		arenas.mu.Lock()
+		defer arenas.mu.Unlock()
+		for _, a := range arenas.all {
+			if n := len(a.trialDevs) + len(a.trialKernels); n != 0 {
+				t.Fatalf("%s: arena still holds %d trial objects", pass, n)
+			}
+			s := a.devices.Stats()
+			if s.Gets != s.Puts {
+				t.Fatalf("%s: %d devices acquired, %d released", pass, s.Gets, s.Puts)
+			}
+			for _, k := range a.kernels {
+				if k.LiveFibers() != 0 {
+					t.Fatalf("%s: pooled kernel has %d live fibers", pass, k.LiveFibers())
+				}
+				if k.PooledFibers() != 0 {
+					t.Fatalf("%s: pooled kernel kept %d parked runner goroutines", pass, k.PooledFibers())
+				}
+			}
+			a.devices.ForEachIdle(func(d *nvm.Device) {
+				if d.WrittenBytes() != 0 || d.DirtyBytes() != 0 {
+					t.Fatalf("%s: pooled device %q not reset (written=%d dirty=%d)",
+						pass, d.Name(), d.WrittenBytes(), d.DirtyBytes())
+				}
+			})
+			devices += int64(a.devices.Idle())
+			kernels += int64(len(a.kernels))
+		}
+		return devices, kernels
+	}
+
+	runAll()
+	dev1, ker1 := checkIdle("first pass")
+	if dev1 == 0 || ker1 == 0 {
+		t.Fatalf("pools empty after a full run: devices=%d kernels=%d", dev1, ker1)
+	}
+	runAll()
+	dev2, ker2 := checkIdle("second pass")
+	if dev2 != dev1 || ker2 != ker1 {
+		t.Fatalf("pool populations drifted across identical passes: devices %d->%d, kernels %d->%d",
+			dev1, dev2, ker1, ker2)
+	}
+}

@@ -11,7 +11,6 @@ import (
 	"hyperloop/internal/hyperloop"
 	"hyperloop/internal/metrics"
 	"hyperloop/internal/naive"
-	"hyperloop/internal/nvm"
 	"hyperloop/internal/rdma"
 	"hyperloop/internal/sim"
 	"hyperloop/internal/txn"
@@ -68,6 +67,10 @@ type clusterCfg struct {
 	depth    int
 	backend  Backend
 
+	// ar is the trial arena that supplies this cluster's kernel, devices,
+	// and fabric payload pool; nil builds everything fresh.
+	ar *trialArena
+
 	// Per storage server CPU model.
 	cores int
 	hogs  int // always-runnable stress-ng style processes
@@ -116,9 +119,9 @@ func newCluster(cfg clusterCfg) (*cluster, error) {
 	if cfg.depth == 0 {
 		cfg.depth = 32
 	}
-	k := sim.NewKernel(cfg.seed)
-	fab := rdma.NewFabric(k, rdma.DefaultConfig())
-	client, err := fab.AddNIC("client", nvm.NewDevice("client", devSize(cfg.mirror)))
+	k := cfg.ar.kernel(cfg.seed)
+	fab := cfg.ar.fabric(k, rdma.DefaultConfig())
+	client, err := fab.AddNIC("client", cfg.ar.device("client", devSize(cfg.mirror)))
 	if err != nil {
 		return nil, err
 	}
@@ -126,7 +129,7 @@ func newCluster(cfg clusterCfg) (*cluster, error) {
 	var reps []*rdma.NIC
 	for i := 0; i < cfg.replicas; i++ {
 		host := fmt.Sprintf("server-%d", i)
-		nic, err := fab.AddNIC(host, nvm.NewDevice(host, devSize(cfg.mirror)))
+		nic, err := fab.AddNIC(host, cfg.ar.device(host, devSize(cfg.mirror)))
 		if err != nil {
 			return nil, err
 		}
@@ -200,9 +203,9 @@ func newFanoutCluster(cfg clusterCfg) (*cluster, error) {
 	if cfg.depth == 0 {
 		cfg.depth = 32
 	}
-	k := sim.NewKernel(cfg.seed)
-	fab := rdma.NewFabric(k, rdma.DefaultConfig())
-	client, err := fab.AddNIC("client", nvm.NewDevice("client", devSize(cfg.mirror)))
+	k := cfg.ar.kernel(cfg.seed)
+	fab := cfg.ar.fabric(k, rdma.DefaultConfig())
+	client, err := fab.AddNIC("client", cfg.ar.device("client", devSize(cfg.mirror)))
 	if err != nil {
 		return nil, err
 	}
@@ -210,7 +213,7 @@ func newFanoutCluster(cfg clusterCfg) (*cluster, error) {
 	var reps []*rdma.NIC
 	for i := 0; i < cfg.replicas; i++ {
 		host := fmt.Sprintf("server-%d", i)
-		nic, err := fab.AddNIC(host, nvm.NewDevice(host, devSize(cfg.mirror)))
+		nic, err := fab.AddNIC(host, cfg.ar.device(host, devSize(cfg.mirror)))
 		if err != nil {
 			return nil, err
 		}

@@ -13,13 +13,15 @@ import (
 
 // microCluster builds the §6.1 microbenchmark deployment: 3 replicas (or
 // more), 16-core servers with multi-tenant co-located load, one backend.
-func microCluster(seed uint64, backend Backend, replicas int, loaded bool) (*cluster, error) {
+// ar supplies the trial's kernel/devices/buffers; nil builds fresh.
+func microCluster(ar *trialArena, seed uint64, backend Backend, replicas int, loaded bool) (*cluster, error) {
 	cfg := clusterCfg{
 		seed:     seed,
 		replicas: replicas,
 		mirror:   1 << 20,
 		backend:  backend,
 		cores:    16,
+		ar:       ar,
 	}
 	if loaded {
 		cfg.multiTenantLoad()
@@ -29,9 +31,9 @@ func microCluster(seed uint64, backend Backend, replicas int, loaded bool) (*clu
 
 // latencyTrial measures one (backend, size) latency point on its own
 // private cluster — the self-contained unit forEach runs concurrently.
-func latencyTrial(seed uint64, backend Backend, replicas, ops, size int,
+func latencyTrial(ar *trialArena, seed uint64, backend Backend, replicas, ops, size int,
 	issue func(c *cluster, f *sim.Fiber, size, i int) error) (*metrics.Histogram, error) {
-	c, err := microCluster(seed, backend, replicas, true)
+	c, err := microCluster(ar, seed, backend, replicas, true)
 	if err != nil {
 		return nil, err
 	}
@@ -75,9 +77,9 @@ func fig8(seed uint64, scale Scale, id, title string,
 	// One job per (backend, size); each builds its own cluster, so the
 	// trials run concurrently and merge in deterministic point order.
 	hists := make([]*metrics.Histogram, len(backends)*len(messageSizes))
-	err := forEach(len(hists), func(j int) error {
+	err := forEach(len(hists), func(j int, ar *trialArena) error {
 		bi, si := j/len(messageSizes), j%len(messageSizes)
-		h, err := latencyTrial(seed+uint64(si), backends[bi], 3, ops, messageSizes[si], issue)
+		h, err := latencyTrial(ar, seed+uint64(si), backends[bi], 3, ops, messageSizes[si], issue)
 		if err != nil {
 			return fmt.Errorf("%v size %d: %w", backends[bi], messageSizes[si], err)
 		}
@@ -116,8 +118,8 @@ func fig8(seed uint64, scale Scale, id, title string,
 // Naive-RDMA vs HyperLoop.
 func Table2(seed uint64, scale Scale) (*Report, error) {
 	ops := scale.pick(500, 10000)
-	measure := func(backend Backend) (*metrics.Histogram, error) {
-		c, err := microCluster(seed, backend, 3, true)
+	measure := func(ar *trialArena, backend Backend) (*metrics.Histogram, error) {
+		c, err := microCluster(ar, seed, backend, 3, true)
 		if err != nil {
 			return nil, err
 		}
@@ -131,8 +133,8 @@ func Table2(seed uint64, scale Scale) (*Report, error) {
 	}
 	backends := []Backend{BackendNaiveEvent, BackendHyperLoop}
 	hists := make([]*metrics.Histogram, len(backends))
-	if err := forEach(len(backends), func(j int) error {
-		h, err := measure(backends[j])
+	if err := forEach(len(backends), func(j int, ar *trialArena) error {
+		h, err := measure(ar, backends[j])
 		if err != nil {
 			return err
 		}
@@ -167,9 +169,9 @@ func Fig9(seed uint64, scale Scale) (*Report, error) {
 		kops float64
 		cpu  float64
 	}
-	measure := func(backend Backend, size int) (point, error) {
+	measure := func(ar *trialArena, backend Backend, size int) (point, error) {
 		cfg := clusterCfg{
-			seed: seed, replicas: 3, mirror: 1 << 20, backend: backend, cores: 16,
+			seed: seed, replicas: 3, mirror: 1 << 20, backend: backend, cores: 16, ar: ar,
 		}
 		cfg.multiTenantLoad()
 		if backend == BackendNaivePinned {
@@ -236,9 +238,9 @@ func Fig9(seed uint64, scale Scale) (*Report, error) {
 
 	backends := []Backend{BackendNaivePinned, BackendHyperLoop}
 	points := make([]point, len(sizes)*len(backends))
-	if err := forEach(len(points), func(j int) error {
+	if err := forEach(len(points), func(j int, ar *trialArena) error {
 		si, bi := j/len(backends), j%len(backends)
-		p, err := measure(backends[bi], sizes[si])
+		p, err := measure(ar, backends[bi], sizes[si])
 		if err != nil {
 			return err
 		}
@@ -276,12 +278,12 @@ func Fig10(seed uint64, scale Scale) (*Report, error) {
 	// Flatten the triple loop (backend × group size × message size) into one
 	// job list; indexing keeps row/column assembly in deterministic order.
 	hists := make([]*metrics.Histogram, len(backends)*len(groupSizes)*len(sizes))
-	if err := forEach(len(hists), func(j int) error {
+	if err := forEach(len(hists), func(j int, ar *trialArena) error {
 		bi := j / (len(groupSizes) * len(sizes))
 		gi := j / len(sizes) % len(groupSizes)
 		si := j % len(sizes)
 		backend, g, size := backends[bi], groupSizes[gi], sizes[si]
-		h, err := latencyTrial(seed+uint64(si), backend, g, ops, size,
+		h, err := latencyTrial(ar, seed+uint64(si), backend, g, ops, size,
 			func(c *cluster, f *sim.Fiber, size, i int) error {
 				return writeIssue(c, f, size, i)
 			})
@@ -332,8 +334,8 @@ func Fig10(seed uint64, scale Scale) (*Report, error) {
 // causes the tail.
 func AblationNoLoad(seed uint64, scale Scale) (*Report, error) {
 	ops := scale.pick(300, 5000)
-	measure := func(backend Backend, loaded bool) (*metrics.Histogram, error) {
-		c, err := microCluster(seed, backend, 3, loaded)
+	measure := func(ar *trialArena, backend Backend, loaded bool) (*metrics.Histogram, error) {
+		c, err := microCluster(ar, seed, backend, 3, loaded)
 		if err != nil {
 			return nil, err
 		}
@@ -344,8 +346,8 @@ func AblationNoLoad(seed uint64, scale Scale) (*Report, error) {
 	backends := []Backend{BackendNaiveEvent, BackendHyperLoop}
 	loads := []bool{false, true}
 	hists := make([]*metrics.Histogram, len(backends)*len(loads))
-	if err := forEach(len(hists), func(j int) error {
-		h, err := measure(backends[j/len(loads)], loads[j%len(loads)])
+	if err := forEach(len(hists), func(j int, ar *trialArena) error {
+		h, err := measure(ar, backends[j/len(loads)], loads[j%len(loads)])
 		if err != nil {
 			return err
 		}
@@ -376,8 +378,8 @@ func AblationNoLoad(seed uint64, scale Scale) (*Report, error) {
 // AblationFlush quantifies the durability (gFLUSH interleaving) cost.
 func AblationFlush(seed uint64, scale Scale) (*Report, error) {
 	ops := scale.pick(300, 5000)
-	measure := func(durable bool) (*metrics.Histogram, error) {
-		c, err := microCluster(seed, BackendHyperLoop, 3, false)
+	measure := func(ar *trialArena, durable bool) (*metrics.Histogram, error) {
+		c, err := microCluster(ar, seed, BackendHyperLoop, 3, false)
 		if err != nil {
 			return nil, err
 		}
@@ -387,8 +389,8 @@ func AblationFlush(seed uint64, scale Scale) (*Report, error) {
 	}
 	modes := []bool{false, true}
 	hists := make([]*metrics.Histogram, len(modes))
-	if err := forEach(len(modes), func(j int) error {
-		h, err := measure(modes[j])
+	if err := forEach(len(modes), func(j int, ar *trialArena) error {
+		h, err := measure(ar, modes[j])
 		if err != nil {
 			return err
 		}
@@ -413,10 +415,10 @@ func AblationFlush(seed uint64, scale Scale) (*Report, error) {
 // throughput — the design choice behind HyperLoop's pre-posted chains.
 func AblationDepth(seed uint64, scale Scale) (*Report, error) {
 	ops := scale.pick(400, 4000)
-	measure := func(depth int) (float64, error) {
+	measure := func(ar *trialArena, depth int) (float64, error) {
 		cfg := clusterCfg{
 			seed: seed, replicas: 3, mirror: 1 << 20,
-			backend: BackendHyperLoop, cores: 16, depth: depth,
+			backend: BackendHyperLoop, cores: 16, depth: depth, ar: ar,
 		}
 		c, err := newCluster(cfg)
 		if err != nil {
@@ -466,8 +468,8 @@ func AblationDepth(seed uint64, scale Scale) (*Report, error) {
 	}
 	depths := []int{4, 8, 16, 32, 64}
 	kops := make([]float64, len(depths))
-	if err := forEach(len(depths), func(j int) error {
-		k, err := measure(depths[j])
+	if err := forEach(len(depths), func(j int, ar *trialArena) error {
+		k, err := measure(ar, depths[j])
 		if err != nil {
 			return err
 		}
@@ -507,10 +509,10 @@ func AblationFanout(seed uint64, scale Scale) (*Report, error) {
 		primaryTx int64
 		maxTx     int64
 	}
-	measure := func(fan bool) (res, error) {
+	measure := func(ar *trialArena, fan bool) (res, error) {
 		cfg := clusterCfg{
 			seed: seed, replicas: 3, mirror: 1 << 20,
-			backend: BackendHyperLoop, cores: 16,
+			backend: BackendHyperLoop, cores: 16, ar: ar,
 		}
 		var c *cluster
 		var err error
@@ -542,8 +544,8 @@ func AblationFanout(seed uint64, scale Scale) (*Report, error) {
 	}
 	topos := []bool{false, true}
 	results := make([]res, len(topos))
-	if err := forEach(len(topos), func(j int) error {
-		r, err := measure(topos[j])
+	if err := forEach(len(topos), func(j int, ar *trialArena) error {
+		r, err := measure(ar, topos[j])
 		if err != nil {
 			return err
 		}
@@ -579,72 +581,9 @@ func AblationFanout(seed uint64, scale Scale) (*Report, error) {
 // so the trials are not independent jobs forEach could run concurrently.
 func AblationConsistency(seed uint64, scale Scale) (*Report, error) {
 	ops := scale.pick(300, 5000)
-	c, err := microCluster(seed, BackendHyperLoop, 3, false)
+	tbl, err := ablationConsistencyTable(seed, ops)
 	if err != nil {
 		return nil, err
-	}
-	st, err := txn.New(c.group, txn.Config{LogSize: 64 * 1024, DataSize: 128 * 1024})
-	if err != nil {
-		return nil, err
-	}
-	entry := func(i int) []wal.Entry {
-		return []wal.Entry{{Off: (i % 64) * 512, Data: bytes.Repeat([]byte{byte(i)}, 256)}}
-	}
-	modes := []struct {
-		name string
-		op   func(f *sim.Fiber, i int) error
-	}{
-		{"ACID txn (log+lock+execute+flush)", func(f *sim.Fiber, i int) error {
-			return st.WithWrLock(f, func() error {
-				if _, err := st.Append(f, entry(i)); err != nil {
-					return err
-				}
-				_, err := st.ExecuteAll(f)
-				return err
-			})
-		}},
-		{"eventual reads (append only, execute off-path)", func(f *sim.Fiber, i int) error {
-			if _, err := st.Append(f, entry(i)); err != nil {
-				return err
-			}
-			// Drain off the critical path every 16 ops so the log never fills.
-			if i%16 == 15 {
-				if _, err := st.ExecuteAll(f); err != nil {
-					return err
-				}
-			}
-			return nil
-		}},
-		{"RAMCloud-like (no durability primitive)", func(f *sim.Fiber, i int) error {
-			return c.group.Write(f, (i%64)*1024, 256, false)
-		}},
-		{"replicated cache (gWRITE only)", func(f *sim.Fiber, i int) error {
-			return c.group.Write(f, (i%64)*1024, 256, false)
-		}},
-	}
-	tbl := metrics.NewTable("Ablation: consistency spectrum on HyperLoop primitives (§7)",
-		"mode", "avg", "p99")
-	for _, m := range modes {
-		h := metrics.NewHistogram()
-		var runErr error
-		c.k.Spawn("mode-driver", func(f *sim.Fiber) {
-			defer c.k.StopRun()
-			for i := 0; i < ops; i++ {
-				start := f.Now()
-				if err := m.op(f, i); err != nil {
-					runErr = fmt.Errorf("%s op %d: %w", m.name, i, err)
-					return
-				}
-				h.RecordDuration(f.Now().Sub(start))
-			}
-		})
-		if err := c.runToStop(60 * sim.Second); err != nil {
-			return nil, err
-		}
-		if runErr != nil {
-			return nil, runErr
-		}
-		tbl.AddRow(m.name, h.MeanDuration(), h.PercentileDuration(99))
 	}
 	return &Report{
 		ID: "abl-consistency", Title: "Ablation: weaker consistency models (§7)",
@@ -654,4 +593,81 @@ func AblationConsistency(seed uint64, scale Scale) (*Report, error) {
 			"recovering RAMCloud/Memcached-like latency from the same primitive set",
 		},
 	}, nil
+}
+
+// ablationConsistencyTable runs the four modes on one shared cluster,
+// checked out of the arena pool like a single long trial.
+func ablationConsistencyTable(seed uint64, ops int) (*metrics.Table, error) {
+	var tbl *metrics.Table
+	err := withArena(func(ar *trialArena) error {
+		c, err := microCluster(ar, seed, BackendHyperLoop, 3, false)
+		if err != nil {
+			return err
+		}
+		st, err := txn.New(c.group, txn.Config{LogSize: 64 * 1024, DataSize: 128 * 1024})
+		if err != nil {
+			return err
+		}
+		entry := func(i int) []wal.Entry {
+			return []wal.Entry{{Off: (i % 64) * 512, Data: bytes.Repeat([]byte{byte(i)}, 256)}}
+		}
+		modes := []struct {
+			name string
+			op   func(f *sim.Fiber, i int) error
+		}{
+			{"ACID txn (log+lock+execute+flush)", func(f *sim.Fiber, i int) error {
+				return st.WithWrLock(f, func() error {
+					if _, err := st.Append(f, entry(i)); err != nil {
+						return err
+					}
+					_, err := st.ExecuteAll(f)
+					return err
+				})
+			}},
+			{"eventual reads (append only, execute off-path)", func(f *sim.Fiber, i int) error {
+				if _, err := st.Append(f, entry(i)); err != nil {
+					return err
+				}
+				// Drain off the critical path every 16 ops so the log never fills.
+				if i%16 == 15 {
+					if _, err := st.ExecuteAll(f); err != nil {
+						return err
+					}
+				}
+				return nil
+			}},
+			{"RAMCloud-like (no durability primitive)", func(f *sim.Fiber, i int) error {
+				return c.group.Write(f, (i%64)*1024, 256, false)
+			}},
+			{"replicated cache (gWRITE only)", func(f *sim.Fiber, i int) error {
+				return c.group.Write(f, (i%64)*1024, 256, false)
+			}},
+		}
+		tbl = metrics.NewTable("Ablation: consistency spectrum on HyperLoop primitives (§7)",
+			"mode", "avg", "p99")
+		for _, m := range modes {
+			h := metrics.NewHistogram()
+			var runErr error
+			c.k.Spawn("mode-driver", func(f *sim.Fiber) {
+				defer c.k.StopRun()
+				for i := 0; i < ops; i++ {
+					start := f.Now()
+					if err := m.op(f, i); err != nil {
+						runErr = fmt.Errorf("%s op %d: %w", m.name, i, err)
+						return
+					}
+					h.RecordDuration(f.Now().Sub(start))
+				}
+			})
+			if err := c.runToStop(60 * sim.Second); err != nil {
+				return err
+			}
+			if runErr != nil {
+				return runErr
+			}
+			tbl.AddRow(m.name, h.MeanDuration(), h.PercentileDuration(99))
+		}
+		return nil
+	})
+	return tbl, err
 }

@@ -26,11 +26,14 @@ func Parallelism() int {
 }
 
 // forEach runs job(0..n-1) on up to Parallelism() workers and waits for all
-// of them. Each job must be self-contained (build its own cluster/kernel and
-// write results into its own index slot). When several jobs fail, the error
-// of the lowest index is returned — the same one the serial loop would have
-// hit first — so error reporting is deterministic under any scheduling.
-func forEach(n int, job func(i int) error) error {
+// of them. Each worker checks a trialArena out of the package pool and
+// passes it to its jobs; the job builds its cluster/kernel/devices through
+// the arena and writes results into its own index slot, and the worker
+// releases the whole trial back to the arena when the job returns. When
+// several jobs fail, the error of the lowest index is returned — the same
+// one the serial loop would have hit first — so error reporting is
+// deterministic under any scheduling.
+func forEach(n int, job func(i int, ar *trialArena) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -39,12 +42,16 @@ func forEach(n int, job func(i int) error) error {
 		workers = n
 	}
 	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			if err := job(i); err != nil {
-				return err
+		return withArena(func(ar *trialArena) error {
+			for i := 0; i < n; i++ {
+				err := job(i, ar)
+				ar.endTrial()
+				if err != nil {
+					return err
+				}
 			}
-		}
-		return nil
+			return nil
+		})
 	}
 	errs := make([]error, n)
 	var next atomic.Int64
@@ -53,12 +60,15 @@ func forEach(n int, job func(i int) error) error {
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			ar := acquireArena()
+			defer releaseArena(ar)
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				errs[i] = job(i)
+				errs[i] = job(i, ar)
+				ar.endTrial()
 			}
 		}()
 	}

@@ -22,6 +22,7 @@ type Device struct {
 	current []byte // latest view: durable bytes overlaid with cached writes
 	durable []byte // what survives a crash
 	dirty   RangeSet
+	written RangeSet // every byte written since NewDevice/Reset; bounds Reset cost
 
 	writes  int64
 	flushes int64
@@ -72,6 +73,7 @@ func (d *Device) Write(off int, data []byte) error {
 	copy(d.current[off:], data)
 	if len(data) > 0 {
 		d.dirty.Insert(off, off+len(data))
+		d.written.Insert(off, off+len(data))
 		d.writes++
 	}
 	return nil
@@ -139,6 +141,28 @@ func (d *Device) Crash() {
 
 // DirtyBytes returns the number of bytes written but not yet durable.
 func (d *Device) DirtyBytes() int { return d.dirty.Total() }
+
+// WrittenBytes returns the number of distinct bytes written since the
+// device was created or last Reset — the footprint Reset will zero.
+func (d *Device) WrittenBytes() int { return d.written.Total() }
+
+// Reset returns the device to the state NewDevice would produce — both
+// images all-zero, no dirty ranges, zeroed stats — without reallocating.
+// Only bytes recorded in the written set are cleared, so a trial that
+// touched 1 MB of a 16 MB device pays for 1 MB, not 16. It returns the
+// number of bytes zeroed across both images.
+func (d *Device) Reset() int {
+	zeroed := 0
+	for _, r := range d.written.rs {
+		clear(d.current[r.Lo:r.Hi])
+		clear(d.durable[r.Lo:r.Hi])
+		zeroed += 2 * (r.Hi - r.Lo)
+	}
+	d.written.Clear()
+	d.dirty.Clear()
+	d.writes, d.flushes, d.crashes = 0, 0, 0
+	return zeroed
+}
 
 // Stats reports operation counts.
 func (d *Device) Stats() (writes, flushes, crashes int64) {

@@ -61,20 +61,29 @@ type Fabric struct {
 	bytesOnWire int64
 	msgs        int64
 
-	// bufs recycles payload scratch buffers by power-of-two size class.
-	// The fabric is single-threaded (one kernel), so no locking; buffers
-	// are returned once the responder has applied the message or the
-	// requester has consumed the response.
-	bufs [bufClasses][][]byte
+	// bufs recycles payload scratch buffers. The fabric is single-threaded
+	// (one kernel), so no locking; buffers are returned once the responder
+	// has applied the message or the requester has consumed the response.
+	bufs *BufPool
 }
 
 // bufClasses covers scratch buffers up to 1<<(bufClasses-1) = 32 MB;
 // larger requests fall through to plain allocation.
 const bufClasses = 26
 
-// getBuf returns a length-n scratch buffer, reusing a pooled one when
+// BufPool recycles payload scratch buffers by power-of-two size class.
+// Every fabric owns one by default; a trial arena can instead lend the
+// same pool to a sequence of fabrics (AdoptBufPool) so buffers survive
+// across trials. Buffer contents are undefined — every user overwrites
+// them fully — so reuse never changes behaviour. A BufPool must only be
+// used by one fabric at a time.
+type BufPool struct {
+	classes [bufClasses][][]byte
+}
+
+// get returns a length-n scratch buffer, reusing a pooled one when
 // available. The contents are undefined; every user overwrites them fully.
-func (f *Fabric) getBuf(n int) []byte {
+func (p *BufPool) get(n int) []byte {
 	if n <= 0 {
 		return nil
 	}
@@ -82,19 +91,19 @@ func (f *Fabric) getBuf(n int) []byte {
 	if c >= bufClasses {
 		return make([]byte, n)
 	}
-	if l := len(f.bufs[c]); l > 0 {
-		b := f.bufs[c][l-1]
-		f.bufs[c][l-1] = nil
-		f.bufs[c] = f.bufs[c][:l-1]
+	if l := len(p.classes[c]); l > 0 {
+		b := p.classes[c][l-1]
+		p.classes[c][l-1] = nil
+		p.classes[c] = p.classes[c][:l-1]
 		return b[:n]
 	}
 	return make([]byte, n, 1<<c)
 }
 
-// putBuf returns a scratch buffer to the pool. Only buffers with exact
-// power-of-two capacity (the shape getBuf produces) are kept, so passing a
+// put returns a scratch buffer to the pool. Only buffers with exact
+// power-of-two capacity (the shape get produces) are kept, so passing a
 // foreign slice is harmless.
-func (f *Fabric) putBuf(b []byte) {
+func (p *BufPool) put(b []byte) {
 	if cap(b) == 0 {
 		return
 	}
@@ -102,7 +111,29 @@ func (f *Fabric) putBuf(b []byte) {
 	if 1<<c != cap(b) || c >= bufClasses {
 		return
 	}
-	f.bufs[c] = append(f.bufs[c], b[:cap(b)])
+	p.classes[c] = append(p.classes[c], b[:cap(b)])
+}
+
+// Buffers reports the number of pooled buffers; leak tests compare it
+// across trials.
+func (p *BufPool) Buffers() int {
+	n := 0
+	for _, c := range p.classes {
+		n += len(c)
+	}
+	return n
+}
+
+func (f *Fabric) getBuf(n int) []byte { return f.bufs.get(n) }
+func (f *Fabric) putBuf(b []byte)     { f.bufs.put(b) }
+
+// AdoptBufPool makes f draw payload scratch buffers from bp instead of
+// its own pool. Call it before any traffic flows; bp must not be shared
+// with a concurrently running fabric.
+func (f *Fabric) AdoptBufPool(bp *BufPool) {
+	if bp != nil {
+		f.bufs = bp
+	}
 }
 
 // NewFabric creates a fabric driven by kernel k.
@@ -121,6 +152,7 @@ func NewFabric(k *sim.Kernel, cfg Config) *Fabric {
 		cfg:  cfg,
 		rng:  k.RNG().Fork(),
 		nics: make(map[string]*NIC),
+		bufs: &BufPool{},
 	}
 }
 

@@ -332,6 +332,13 @@ func (q *QP) execute(w WQE) {
 		q.advance(w, cfg.WQEProc)
 
 	case OpMemcpy:
+		if w.Len > uint64(n.mem.Size()) {
+			// Bounds-check before the scratch allocation: a malformed
+			// length must fail like any other bad access, not size a buffer.
+			q.completeLocal(w, StatusLocalError)
+			q.advance(w, cfg.WQEProc)
+			return
+		}
 		st := StatusSuccess
 		data := n.fabric.getBuf(int(w.Len))
 		if err := n.mem.Read(int(w.Local), data); err != nil {
@@ -345,7 +352,7 @@ func (q *QP) execute(w WQE) {
 		q.advance(w, occ)
 
 	case OpSend, OpWrite, OpWriteImm:
-		if q.peer == nil {
+		if q.peer == nil || w.Len > uint64(n.mem.Size()) {
 			q.completeLocal(w, StatusLocalError)
 			q.advance(w, cfg.WQEProc)
 			return

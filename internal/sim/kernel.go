@@ -344,8 +344,48 @@ func (k *Kernel) RunUntil(t Time) error {
 	return err
 }
 
+// Reset returns the kernel to the state NewKernel(seed) would produce
+// while keeping its allocated capacity: the event free list, the event
+// heap's backing array, and any parked fiber runners survive, so a pooled
+// kernel's next trial allocates (and starts goroutines) far less than a
+// fresh one. Still-queued events are cancelled into the free list and the
+// RNG is re-seeded, so simulation behaviour after Reset is byte-identical
+// to a fresh kernel's — event ordering depends only on (time, seq), and
+// both restart from zero.
+//
+// Reset only applies between top-level runs: it reports false and leaves
+// the kernel untouched if called while running or with live fibers.
+func (k *Kernel) Reset(seed uint64) bool {
+	if k.depth != 0 || k.fibers != 0 {
+		return false
+	}
+	for i := range k.events {
+		ev := k.events[i].ev
+		ev.index = -1
+		k.release(ev)
+		k.events[i] = heapEntry{}
+	}
+	k.events = k.events[:0]
+	if k.executed != k.flushed {
+		totalEvents.Add(k.executed - k.flushed)
+	}
+	k.now, k.seq = 0, 0
+	k.stopped, k.limit = false, 0
+	k.executed, k.flushed, k.fiberStarts = 0, 0, 0
+	k.rng = NewRNG(seed)
+	return true
+}
+
 // Pending reports the number of queued events.
 func (k *Kernel) Pending() int { return len(k.events) }
+
+// FreeEvents reports the size of the event free list — recycled event
+// structs awaiting reuse. Leak tests compare it across runs.
+func (k *Kernel) FreeEvents() int { return len(k.free) }
+
+// PooledFibers reports the number of parked runner goroutines. The pool
+// drains at top-level Run exit, so between runs it is zero.
+func (k *Kernel) PooledFibers() int { return len(k.fiberFree) }
 
 // LiveFibers reports the number of fibers that have started and not yet
 // exited; useful to assert that a scenario wound down cleanly.
