@@ -1,13 +1,28 @@
 #!/bin/sh
-# Tier-1 verification: formatting, vet, the full suite, the race detector
-# over the trial worker pool and the simulation/RDMA hot paths, coverage
-# floors on the pooling-critical packages, short fuzz runs over the WQE
-# decoder and device reset, a quick serial-vs-parallel determinism golden,
-# and a baseline staleness check.
+# Tier-1 verification: formatting, vet, static analysis, the full suite,
+# the race detector over the two-level scheduler and the simulation/RDMA
+# hot paths, coverage floors on the pooling-critical packages, short fuzz
+# runs over the WQE decoder and device reset, a serial-vs-overlapped
+# determinism golden across a seed matrix, and the bench regression gate
+# against the committed BENCH_baseline.json.
+#
+#   ./ci.sh                    run the full pipeline
+#   ./ci.sh -update-baseline   regenerate BENCH_baseline.json (serial,
+#                              -procs 1) instead of diffing against it;
+#                              commit the result (see EXPERIMENTS.md)
 set -eux
+
+update_baseline=0
+if [ "${1:-}" = "-update-baseline" ]; then
+    update_baseline=1
+fi
 
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
+
+# Bench artifacts (quick-scale text + JSON) land here; CI uploads them.
+artifacts=${CI_ARTIFACTS_DIR:-"$tmp/artifacts"}
+mkdir -p "$artifacts"
 
 # Formatting must be clean before anything else runs.
 badfmt=$(gofmt -l .)
@@ -17,9 +32,31 @@ if [ -n "$badfmt" ]; then
 fi
 
 go vet ./...
+
+# Static analysis and vuln scanning, version-pinned so CI runs are
+# reproducible. Both need the network once to populate the module cache;
+# skip gracefully when the toolchain can't fetch them (offline dev box).
+if command -v staticcheck >/dev/null 2>&1; then
+    staticcheck ./...
+elif GOFLAGS= go install honnef.co/go/tools/cmd/staticcheck@2024.1.1 >/dev/null 2>&1; then
+    "$(go env GOPATH)/bin/staticcheck" ./...
+else
+    echo "staticcheck unavailable (offline?); skipping" >&2
+fi
+if command -v govulncheck >/dev/null 2>&1; then
+    govulncheck ./...
+elif GOFLAGS= go install golang.org/x/vuln/cmd/govulncheck@v1.1.3 >/dev/null 2>&1; then
+    "$(go env GOPATH)/bin/govulncheck" ./...
+else
+    echo "govulncheck unavailable (offline?); skipping" >&2
+fi
+
 go build ./...
 go test ./...
-go test -race ./internal/experiments ./internal/sim ./internal/rdma ./internal/cpusim
+# The determinism goldens shrink their matrix under race (see
+# race_on_test.go) but the detector is still ~10× on one core; give the
+# stage explicit headroom over the 10m default.
+go test -race -timeout 20m ./internal/experiments ./internal/sim ./internal/rdma ./internal/cpusim
 
 # Coverage floors. nvm's dirty-range reset and ring's log are what device
 # pooling leans on for correctness, so their suites must stay thorough.
@@ -45,12 +82,36 @@ go test ./internal/nvm -run='^$' -fuzz=FuzzDeviceReset -fuzztime=10s
 # it by name so a staleness failure is unmistakable in CI logs).
 go test ./cmd/hyperloop-bench -run TestBaselineMatchesSchema -count=1
 
-# Quick determinism golden: the bench output is virtual-time numbers, so it
-# must be byte-identical serial vs fully parallel once the wall-time-only
-# lines ("regenerated in") are stripped.
 go build -o "$tmp/bench" ./cmd/hyperloop-bench
-"$tmp/bench" -exp all -scale quick -seed 1 -procs 1 |
-    grep -v 'regenerated in' > "$tmp/serial.norm"
-"$tmp/bench" -exp all -scale quick -seed 1 -procs 0 |
-    grep -v 'regenerated in' > "$tmp/parallel.norm"
-diff -u "$tmp/serial.norm" "$tmp/parallel.norm"
+go build -o "$tmp/benchdiff" ./cmd/benchdiff
+
+if [ "$update_baseline" = 1 ]; then
+    # The committed baseline is always generated serially: -procs 1 is the
+    # degenerate schedule every other -procs value must reproduce.
+    "$tmp/bench" -exp all -scale quick -seed 1 -procs 1 -json BENCH_baseline.json \
+        > "$artifacts/bench-quick.txt"
+    cp BENCH_baseline.json "$artifacts/bench-quick.json"
+    echo "BENCH_baseline.json regenerated; review and commit it" >&2
+    exit 0
+fi
+
+# Determinism golden across a seed matrix: the bench output is virtual-time
+# numbers, so it must be byte-identical serial (-procs 1) vs fully
+# overlapped (-procs 0) once the wall-time-only lines ("regenerated in")
+# are stripped.
+for seed in 1 2 42; do
+    "$tmp/bench" -exp all -scale quick -seed "$seed" -procs 1 |
+        grep -v 'regenerated in' > "$tmp/serial.norm"
+    "$tmp/bench" -exp all -scale quick -seed "$seed" -procs 0 |
+        grep -v 'regenerated in' > "$tmp/overlap.norm"
+    diff -u "$tmp/serial.norm" "$tmp/overlap.norm"
+done
+
+# Bench regression gate: an overlapped quick run must match the committed
+# serial baseline on every strict (virtual-time) field — report text,
+# sim_events, cqes, messages, wire_bytes, demand-side pool counters.
+# Wall-clock numbers and pool reuse splits are advisory. On an intentional
+# behaviour change, run `./ci.sh -update-baseline` and commit the result.
+"$tmp/bench" -exp all -scale quick -seed 1 -procs 0 -json "$artifacts/bench-quick.json" \
+    > "$artifacts/bench-quick.txt"
+"$tmp/benchdiff" BENCH_baseline.json "$artifacts/bench-quick.json"

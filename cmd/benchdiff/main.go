@@ -1,0 +1,186 @@
+// Command benchdiff compares two hyperloop-bench -json reports and
+// enforces the CI regression gate.
+//
+// Usage:
+//
+//	benchdiff BENCH_baseline.json current.json
+//
+// Strict fields — the simulation's virtual-time behaviour — must match
+// exactly: seed, scale, the experiment id sequence, each experiment's
+// rendered report text (every latency and throughput number is virtual
+// time, so the text is deterministic), and the demand-side counters
+// sim_events, cqes, messages, wire_bytes, device_gets, device_puts,
+// device_bytes_demand, kernel_gets, fabric_builds. Any strict mismatch
+// is a behaviour change: benchdiff prints the first divergence per
+// experiment and exits 1. If the change is intentional, regenerate the
+// baseline (see ci.sh -update-baseline).
+//
+// Advisory fields — wall-clock timings and the pools' fresh/reused
+// splits — depend on host speed and goroutine scheduling. benchdiff
+// prints their deltas for the log and never fails on them.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// expStats mirrors the per-experiment object in hyperloop-bench -json.
+// Kept in sync by cmd/hyperloop-bench's TestBaselineMatchesSchema plus
+// the strict decode below.
+type expStats struct {
+	ID     string `json:"id"`
+	Report string `json:"report"`
+
+	WallMS       float64 `json:"wall_ms"`
+	SimEvents    int64   `json:"sim_events"`
+	CQEs         int64   `json:"cqes"`
+	Messages     int64   `json:"messages"`
+	WireBytes    int64   `json:"wire_bytes"`
+	EventsPerSec float64 `json:"events_per_sec"`
+
+	DeviceGets        int64 `json:"device_gets"`
+	DevicePuts        int64 `json:"device_puts"`
+	DeviceFresh       int64 `json:"device_fresh"`
+	DeviceReused      int64 `json:"device_reused"`
+	DeviceBytesZeroed int64 `json:"device_bytes_zeroed"`
+	DeviceBytesDemand int64 `json:"device_bytes_demand"`
+	KernelGets        int64 `json:"kernel_gets"`
+	KernelFresh       int64 `json:"kernel_fresh"`
+	KernelReused      int64 `json:"kernel_reused"`
+	FabricBuilds      int64 `json:"fabric_builds"`
+	FabricReused      int64 `json:"fabric_reused"`
+}
+
+type benchReport struct {
+	Seed        uint64     `json:"seed"`
+	Scale       string     `json:"scale"`
+	Procs       int        `json:"procs"`
+	GoMaxProcs  int        `json:"gomaxprocs"`
+	Experiments []expStats `json:"experiments"`
+	TotalWallMS float64    `json:"total_wall_ms"`
+}
+
+func load(path string) (*benchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	var r benchReport
+	if err := dec.Decode(&r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// firstLineDiff locates the first differing line of two texts.
+func firstLineDiff(a, b string) (int, string, string) {
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := 0; i < len(al) || i < len(bl); i++ {
+		var la, lb string
+		if i < len(al) {
+			la = al[i]
+		}
+		if i < len(bl) {
+			lb = bl[i]
+		}
+		if la != lb {
+			return i + 1, la, lb
+		}
+	}
+	return 0, "", ""
+}
+
+func run(args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("usage: benchdiff <baseline.json> <current.json>")
+	}
+	base, err := load(args[0])
+	if err != nil {
+		return err
+	}
+	cur, err := load(args[1])
+	if err != nil {
+		return err
+	}
+
+	var bad []string
+	strict := func(ok bool, format string, a ...any) {
+		if !ok {
+			bad = append(bad, fmt.Sprintf(format, a...))
+		}
+	}
+	strict(base.Seed == cur.Seed, "seed: baseline %d, current %d", base.Seed, cur.Seed)
+	strict(base.Scale == cur.Scale, "scale: baseline %q, current %q", base.Scale, cur.Scale)
+
+	var baseIDs, curIDs []string
+	for _, e := range base.Experiments {
+		baseIDs = append(baseIDs, e.ID)
+	}
+	for _, e := range cur.Experiments {
+		curIDs = append(curIDs, e.ID)
+	}
+	if strings.Join(baseIDs, " ") != strings.Join(curIDs, " ") {
+		strict(false, "experiment set: baseline [%s], current [%s]",
+			strings.Join(baseIDs, " "), strings.Join(curIDs, " "))
+	} else {
+		for i := range base.Experiments {
+			b, c := base.Experiments[i], cur.Experiments[i]
+			if b.Report != c.Report {
+				line, lb, lc := firstLineDiff(b.Report, c.Report)
+				strict(false, "%s: report diverges at line %d:\n  baseline: %s\n  current:  %s",
+					b.ID, line, lb, lc)
+			}
+			cmp := func(name string, vb, vc int64) {
+				strict(vb == vc, "%s: %s: baseline %d, current %d", b.ID, name, vb, vc)
+			}
+			cmp("sim_events", b.SimEvents, c.SimEvents)
+			cmp("cqes", b.CQEs, c.CQEs)
+			cmp("messages", b.Messages, c.Messages)
+			cmp("wire_bytes", b.WireBytes, c.WireBytes)
+			cmp("device_gets", b.DeviceGets, c.DeviceGets)
+			cmp("device_puts", b.DevicePuts, c.DevicePuts)
+			cmp("device_bytes_demand", b.DeviceBytesDemand, c.DeviceBytesDemand)
+			cmp("kernel_gets", b.KernelGets, c.KernelGets)
+			cmp("fabric_builds", b.FabricBuilds, c.FabricBuilds)
+		}
+	}
+
+	// Advisory: host-dependent numbers, printed for the log only.
+	fmt.Printf("advisory: total wall %.1fms -> %.1fms (procs %d -> %d, gomaxprocs %d -> %d)\n",
+		base.TotalWallMS, cur.TotalWallMS, base.Procs, cur.Procs, base.GoMaxProcs, cur.GoMaxProcs)
+	if len(base.Experiments) == len(cur.Experiments) {
+		for i := range base.Experiments {
+			b, c := base.Experiments[i], cur.Experiments[i]
+			if b.ID != c.ID {
+				continue
+			}
+			fmt.Printf("advisory: %-15s wall %8.1fms -> %8.1fms  reuse dev %d/%d -> %d/%d  kern %d/%d -> %d/%d  fab %d/%d -> %d/%d\n",
+				b.ID, b.WallMS, c.WallMS,
+				b.DeviceReused, b.DeviceGets, c.DeviceReused, c.DeviceGets,
+				b.KernelReused, b.KernelGets, c.KernelReused, c.KernelGets,
+				b.FabricReused, b.FabricBuilds, c.FabricReused, c.FabricBuilds)
+		}
+	}
+
+	if len(bad) > 0 {
+		fmt.Printf("benchdiff: %d strict mismatch(es) between %s and %s:\n", len(bad), args[0], args[1])
+		for _, m := range bad {
+			fmt.Println("  " + m)
+		}
+		return fmt.Errorf("virtual-time behaviour changed; if intentional, run ./ci.sh -update-baseline and commit the new BENCH_baseline.json")
+	}
+	fmt.Println("benchdiff: strict fields identical")
+	return nil
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+}

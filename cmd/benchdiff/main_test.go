@@ -1,0 +1,135 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeReport(t *testing.T, dir, name string, r benchReport) string {
+	t.Helper()
+	data, err := json.MarshalIndent(&r, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func sample() benchReport {
+	return benchReport{
+		Seed: 1, Scale: "quick", Procs: 1, GoMaxProcs: 1, TotalWallMS: 100,
+		Experiments: []expStats{{
+			ID: "fig8a", Report: "== fig8a ==\np50 1.2us\n",
+			WallMS: 40, SimEvents: 1000, CQEs: 50, Messages: 60, WireBytes: 4096,
+			EventsPerSec: 25000, DeviceGets: 4, DevicePuts: 4, DeviceReused: 2,
+			DeviceBytesDemand: 1 << 20, KernelGets: 4, KernelReused: 3,
+			FabricBuilds: 4, FabricReused: 3,
+		}},
+	}
+}
+
+func TestIdenticalReportsPass(t *testing.T) {
+	dir := t.TempDir()
+	a := writeReport(t, dir, "a.json", sample())
+	b := writeReport(t, dir, "b.json", sample())
+	if err := run([]string{a, b}); err != nil {
+		t.Fatalf("identical reports rejected: %v", err)
+	}
+}
+
+func TestAdvisoryOnlyChangesPass(t *testing.T) {
+	dir := t.TempDir()
+	a := writeReport(t, dir, "a.json", sample())
+	cur := sample()
+	// Everything host-dependent moves; virtual time does not.
+	cur.Procs, cur.GoMaxProcs, cur.TotalWallMS = 8, 8, 20
+	cur.Experiments[0].WallMS = 5
+	cur.Experiments[0].EventsPerSec = 200000
+	cur.Experiments[0].DeviceReused = 0
+	cur.Experiments[0].KernelReused = 0
+	cur.Experiments[0].FabricReused = 0
+	b := writeReport(t, dir, "b.json", cur)
+	if err := run([]string{a, b}); err != nil {
+		t.Fatalf("advisory-only drift rejected: %v", err)
+	}
+}
+
+func TestReportTextMismatchFails(t *testing.T) {
+	dir := t.TempDir()
+	a := writeReport(t, dir, "a.json", sample())
+	cur := sample()
+	cur.Experiments[0].Report = "== fig8a ==\np50 1.3us\n"
+	b := writeReport(t, dir, "b.json", cur)
+	if err := run([]string{a, b}); err == nil {
+		t.Fatal("changed report text accepted")
+	}
+}
+
+func TestStrictCounterMismatchFails(t *testing.T) {
+	dir := t.TempDir()
+	a := writeReport(t, dir, "a.json", sample())
+	cur := sample()
+	cur.Experiments[0].SimEvents++
+	b := writeReport(t, dir, "b.json", cur)
+	if err := run([]string{a, b}); err == nil {
+		t.Fatal("changed sim_events accepted")
+	}
+}
+
+func TestExperimentSetMismatchFails(t *testing.T) {
+	dir := t.TempDir()
+	a := writeReport(t, dir, "a.json", sample())
+	cur := sample()
+	cur.Experiments[0].ID = "fig8b"
+	b := writeReport(t, dir, "b.json", cur)
+	if err := run([]string{a, b}); err == nil {
+		t.Fatal("changed experiment set accepted")
+	}
+}
+
+func TestSeedMismatchFails(t *testing.T) {
+	dir := t.TempDir()
+	a := writeReport(t, dir, "a.json", sample())
+	cur := sample()
+	cur.Seed = 2
+	b := writeReport(t, dir, "b.json", cur)
+	if err := run([]string{a, b}); err == nil {
+		t.Fatal("changed seed accepted")
+	}
+}
+
+func TestUnknownFieldRejected(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "stale.json")
+	if err := os.WriteFile(path, []byte(`{"seed":1,"allocs":5}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	good := writeReport(t, dir, "good.json", sample())
+	if err := run([]string{path, good}); err == nil {
+		t.Fatal("stale schema accepted")
+	}
+}
+
+func TestUsage(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("missing args accepted")
+	}
+}
+
+// TestCommittedBaselineAgainstItself runs the real gate input through the
+// tool: the committed baseline must diff cleanly against itself, proving
+// the schema here matches cmd/hyperloop-bench's.
+func TestCommittedBaselineAgainstItself(t *testing.T) {
+	base := filepath.Join("..", "..", "BENCH_baseline.json")
+	if _, err := os.Stat(base); err != nil {
+		t.Fatalf("committed baseline missing: %v", err)
+	}
+	if err := run([]string{base, base}); err != nil {
+		t.Fatalf("baseline does not diff cleanly against itself: %v", err)
+	}
+}

@@ -17,7 +17,6 @@ import (
 	"time"
 
 	"hyperloop/internal/experiments"
-	"hyperloop/internal/sim"
 )
 
 func main() {
@@ -27,24 +26,38 @@ func main() {
 	}
 }
 
-// expStats is one experiment's entry in the -json report. The device_*
-// and kernel_* fields are trial-arena counters (deltas over the
-// experiment): device_bytes_zeroed vs device_bytes_demand shows how much
-// setup zeroing the dirty-range reset avoided relative to fresh
-// allocation per trial.
+// expStats is one experiment's entry in the -json report, filled from the
+// experiment's own StatSink — counters its trials attributed locally, so
+// they read the same whether experiments ran serially or overlapped.
+//
+// Report and the sink's deterministic counters (sim_events, cqes,
+// messages, wire_bytes, device_gets/puts, device_bytes_demand,
+// kernel_gets, fabric_builds) are byte-identical at any -procs setting;
+// the CI regression gate (cmd/benchdiff) diffs them exactly. Wall-clock
+// rates and the pools' fresh/reused splits depend on host scheduling and
+// are advisory.
 type expStats struct {
-	ID           string  `json:"id"`
+	ID     string `json:"id"`
+	Report string `json:"report"`
+
 	WallMS       float64 `json:"wall_ms"`
 	SimEvents    int64   `json:"sim_events"`
+	CQEs         int64   `json:"cqes"`
+	Messages     int64   `json:"messages"`
+	WireBytes    int64   `json:"wire_bytes"`
 	EventsPerSec float64 `json:"events_per_sec"`
-	Allocs       uint64  `json:"allocs"`
 
+	DeviceGets        int64 `json:"device_gets"`
+	DevicePuts        int64 `json:"device_puts"`
 	DeviceFresh       int64 `json:"device_fresh"`
 	DeviceReused      int64 `json:"device_reused"`
 	DeviceBytesZeroed int64 `json:"device_bytes_zeroed"`
 	DeviceBytesDemand int64 `json:"device_bytes_demand"`
+	KernelGets        int64 `json:"kernel_gets"`
 	KernelFresh       int64 `json:"kernel_fresh"`
 	KernelReused      int64 `json:"kernel_reused"`
+	FabricBuilds      int64 `json:"fabric_builds"`
+	FabricReused      int64 `json:"fabric_reused"`
 }
 
 // benchReport is the -json output: enough to compare perf across commits.
@@ -64,7 +77,7 @@ func run(args []string) error {
 		seed  = fs.Uint64("seed", 1, "simulation seed (equal seeds reproduce runs exactly)")
 		scale = fs.String("scale", "quick", "run size: quick | full (paper-grade sample counts)")
 		list  = fs.Bool("list", false, "list experiments and exit")
-		procs = fs.Int("procs", 0, "concurrent trials per experiment (0 = GOMAXPROCS); results are identical at any setting")
+		procs = fs.Int("procs", 0, "concurrent trials across all experiments (0 = GOMAXPROCS); results are identical at any setting")
 		jsonP = fs.String("json", "", "write machine-readable perf stats to this file ('-' = stdout)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -100,38 +113,38 @@ func run(args []string) error {
 		Procs: experiments.Parallelism(), GoMaxProcs: runtime.GOMAXPROCS(0),
 	}
 	total := time.Now()
-	for _, id := range ids {
-		var ms runtime.MemStats
-		runtime.ReadMemStats(&ms)
-		allocs0, events0 := ms.Mallocs, sim.TotalEvents()
-		arena0 := experiments.Stats()
-		start := time.Now()
-		report, err := experiments.Run(id, *seed, sc)
-		if err != nil {
-			return fmt.Errorf("%s: %w", id, err)
-		}
-		wall := time.Since(start)
-		runtime.ReadMemStats(&ms)
-		events := sim.TotalEvents() - events0
-		arena := experiments.Stats()
-		bench.Experiments = append(bench.Experiments, expStats{
-			ID:           id,
-			WallMS:       float64(wall.Microseconds()) / 1000,
-			SimEvents:    events,
-			EventsPerSec: float64(events) / wall.Seconds(),
-			Allocs:       ms.Mallocs - allocs0,
-
-			DeviceFresh:       arena.DeviceFresh - arena0.DeviceFresh,
-			DeviceReused:      arena.DeviceReused - arena0.DeviceReused,
-			DeviceBytesZeroed: arena.DeviceBytesZeroed - arena0.DeviceBytesZeroed,
-			DeviceBytesDemand: arena.DeviceBytesDemand - arena0.DeviceBytesDemand,
-			KernelFresh:       arena.KernelFresh - arena0.KernelFresh,
-			KernelReused:      arena.KernelReused - arena0.KernelReused,
-		})
-		fmt.Println(report)
-		fmt.Printf("(%s regenerated in %v wall time)\n\n", id, wall.Round(time.Millisecond))
+	results, err := experiments.RunAll(ids, *seed, sc)
+	if err != nil {
+		return err
 	}
 	bench.TotalWallMS = float64(time.Since(total).Microseconds()) / 1000
+	for _, r := range results {
+		s := r.Stats
+		bench.Experiments = append(bench.Experiments, expStats{
+			ID:           r.ID,
+			Report:       r.Report.String(),
+			WallMS:       float64(r.Wall.Microseconds()) / 1000,
+			SimEvents:    s.SimEvents,
+			CQEs:         s.CQEs,
+			Messages:     s.Messages,
+			WireBytes:    s.WireBytes,
+			EventsPerSec: float64(s.SimEvents) / r.Wall.Seconds(),
+
+			DeviceGets:        s.DeviceGets,
+			DevicePuts:        s.DevicePuts,
+			DeviceFresh:       s.DeviceFresh,
+			DeviceReused:      s.DeviceReused,
+			DeviceBytesZeroed: s.DeviceBytesZeroed,
+			DeviceBytesDemand: s.DeviceBytesDemand,
+			KernelGets:        s.KernelGets,
+			KernelFresh:       s.KernelFresh,
+			KernelReused:      s.KernelReused,
+			FabricBuilds:      s.FabricBuilds,
+			FabricReused:      s.FabricReused,
+		})
+		fmt.Println(r.Report)
+		fmt.Printf("(%s regenerated in %v wall time)\n\n", r.ID, r.Wall.Round(time.Millisecond))
+	}
 
 	if *jsonP != "" {
 		out, err := json.MarshalIndent(&bench, "", "  ")

@@ -65,6 +65,12 @@ func TestJSONOutput(t *testing.T) {
 	if e.SimEvents <= 0 || e.WallMS <= 0 || e.EventsPerSec <= 0 {
 		t.Fatalf("stats not populated: %+v", e)
 	}
+	if e.CQEs <= 0 || e.Messages <= 0 || e.WireBytes <= 0 {
+		t.Fatalf("fabric counters not attributed: %+v", e)
+	}
+	if e.Report == "" {
+		t.Fatal("rendered report missing from -json entry")
+	}
 }
 
 // jsonKeys returns the sorted key set of a JSON object.
@@ -137,7 +143,8 @@ func TestBaselineMatchesSchema(t *testing.T) {
 		t.Fatalf("baseline must be -scale quick -procs 1, got scale=%q procs=%d", rep.Scale, rep.Procs)
 	}
 	for _, e := range rep.Experiments {
-		if e.WallMS <= 0 || e.Allocs == 0 {
+		// table3 renders a static workload table; it schedules no trials.
+		if e.WallMS <= 0 || e.Report == "" || (e.SimEvents == 0 && e.ID != "table3") {
 			t.Fatalf("experiment %s has empty stats: %+v", e.ID, e)
 		}
 	}

@@ -306,7 +306,7 @@ func (c *fig2Cluster) contextSwitches() int64 {
 // Fig2a regenerates Figure 2(a): document-store latency and normalized
 // context switches vs replica-sets per server (CPU contention from
 // co-located tenants alone — no artificial stress).
-func Fig2a(seed uint64, scale Scale) (*Report, error) {
+func fig2a(rc *runCtx, seed uint64, scale Scale) (*Report, error) {
 	setCounts := []int{3, 9, 15, 21, 27}
 	if scale == Quick {
 		setCounts = []int{3, 9, 15}
@@ -323,7 +323,7 @@ func Fig2a(seed uint64, scale Scale) (*Report, error) {
 		normalized float64
 	}
 	rows := make([]row, len(setCounts))
-	if err := forEach(len(setCounts), func(j int, ar *trialArena) error {
+	if err := forEach(rc, len(setCounts), func(j int, ar *trialArena) error {
 		n := setCounts[j]
 		c, err := newFig2Cluster(ar, seed, n, cores, recordCount, opCount)
 		if err != nil {
@@ -365,7 +365,7 @@ func Fig2a(seed uint64, scale Scale) (*Report, error) {
 
 // Fig2b regenerates Figure 2(b): latency vs cores per machine at a fixed
 // replica-set count.
-func Fig2b(seed uint64, scale Scale) (*Report, error) {
+func fig2b(rc *runCtx, seed uint64, scale Scale) (*Report, error) {
 	coreCounts := []int{2, 4, 8, 16}
 	nSets := scale.pick(9, 18)
 	recordCount := scale.pick(20, 40)
@@ -376,7 +376,7 @@ func Fig2b(seed uint64, scale Scale) (*Report, error) {
 		ctx int64
 	}
 	points := make([]point, len(coreCounts))
-	if err := forEach(len(coreCounts), func(j int, ar *trialArena) error {
+	if err := forEach(rc, len(coreCounts), func(j int, ar *trialArena) error {
 		cores := coreCounts[j]
 		c, err := newFig2Cluster(ar, seed, nSets, cores, recordCount, opCount)
 		if err != nil {
@@ -455,7 +455,7 @@ func runYCSB(c *cluster, db ycsb.DB, rcfg ycsb.RunnerConfig) (*ycsb.Result, erro
 // Fig11 regenerates Figure 11: replicated RocksDB-like store under
 // YCSB-A updates — Naive-Event vs Naive-Polling vs HyperLoop, with
 // multi-tenant co-location.
-func Fig11(seed uint64, scale Scale) (*Report, error) {
+func fig11(rc *runCtx, seed uint64, scale Scale) (*Report, error) {
 	kcfg := kvstore.DefaultConfig()
 	mirror := kvstore.MirrorSizeFor(kcfg)
 	rcfg := ycsb.RunnerConfig{
@@ -467,7 +467,7 @@ func Fig11(seed uint64, scale Scale) (*Report, error) {
 	}
 	backends := []Backend{BackendNaiveEvent, BackendNaivePolling, BackendHyperLoop}
 	hists := make([]*metrics.Histogram, len(backends))
-	if err := forEach(len(backends), func(j int, ar *trialArena) error {
+	if err := forEach(rc, len(backends), func(j int, ar *trialArena) error {
 		b := backends[j]
 		c, err := appCluster(ar, seed, b, mirror)
 		if err != nil {
@@ -507,7 +507,7 @@ func Fig11(seed uint64, scale Scale) (*Report, error) {
 
 // Fig12 regenerates Figure 12: document store latency across YCSB
 // workloads A, B, D, E and F — native (CPU-driven polling) vs HyperLoop.
-func Fig12(seed uint64, scale Scale) (*Report, error) {
+func fig12(rc *runCtx, seed uint64, scale Scale) (*Report, error) {
 	dcfg := docstore.DefaultConfig()
 	mirror := docstore.MirrorSizeFor(dcfg)
 	recordCount := scale.pick(40, 150)
@@ -535,7 +535,7 @@ func Fig12(seed uint64, scale Scale) (*Report, error) {
 	backends := []Backend{BackendNaivePolling, BackendHyperLoop}
 	names := []string{"native", "hyperloop"}
 	results := make([]*ycsb.Result, len(workloads)*len(backends))
-	if err := forEach(len(results), func(j int, ar *trialArena) error {
+	if err := forEach(rc, len(results), func(j int, ar *trialArena) error {
 		wi, bi := j/len(backends), j%len(backends)
 		r, err := measure(ar, backends[bi], workloads[wi])
 		if err != nil {
@@ -588,7 +588,7 @@ func Fig12(seed uint64, scale Scale) (*Report, error) {
 }
 
 // Table3 prints the YCSB workload definitions used throughout §6.2.
-func Table3(uint64, Scale) (*Report, error) {
+func table3(*runCtx, uint64, Scale) (*Report, error) {
 	tbl := metrics.NewTable("Table 3: YCSB workload operation mix (%)",
 		"workload", "read", "update", "insert", "modify", "scan", "distribution")
 	for _, w := range ycsb.Workloads() {

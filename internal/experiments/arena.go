@@ -14,42 +14,60 @@ import (
 var poolingOff atomic.Bool
 
 // SetDevicePooling enables or disables reuse of devices, kernels, and
-// fabric payload pools across trials, returning the previous setting.
-// Pooling is wall-clock/GC-pressure only: virtual-time results are
-// byte-identical either way (asserted by TestPooledVsFreshIdentical).
+// whole fabrics (with their NIC structs and payload pools) across trials,
+// returning the previous setting. Pooling is wall-clock/GC-pressure only:
+// virtual-time results are byte-identical either way (asserted by
+// TestPooledVsFreshIdentical).
 func SetDevicePooling(on bool) bool {
 	return !poolingOff.Swap(!on)
 }
 
-// trialArena owns the reusable simulation state of one trial worker:
-// pooled NVM devices (reset to their written ranges only, not
-// reallocated), pooled simulation kernels (event free lists and heap
-// capacity survive), and one fabric payload-buffer pool lent to each
-// trial's fabric. A trial acquires everything through the arena and the
-// worker releases the whole trial back in one endTrial call, so a
-// finished trial recycles its big allocations instead of dropping them on
-// the garbage collector at once.
+// trialArena owns the reusable simulation state of one trial: pooled NVM
+// devices (reset to their written ranges only, not reallocated), pooled
+// simulation kernels (event free lists and heap capacity survive), and
+// pooled rdma.Fabric objects — the whole fabric, its recycled NIC structs,
+// and its payload-buffer pool, not just scratch buffers. A trial acquires
+// everything through the arena, and the worker releases the whole trial
+// back in one endTrial call, which also attributes the trial's counters
+// (kernel events, fabric CQEs/messages/bytes, device pool work) to the
+// experiment run that owns the trial.
 //
 // An arena is used by exactly one goroutine at a time (acquireArena /
 // releaseArena hand them out), so none of this needs locking.
 type trialArena struct {
 	devices nvm.DevicePool
 	kernels []*sim.Kernel
-	bufs    *rdma.BufPool
+	fabrics []*rdma.Fabric
 
 	kernelGets, kernelPuts    int64
 	kernelFresh, kernelReused int64
 	kernelDropped             int64 // released with live fibers; not pooled
-	trialDevs                 []*nvm.Device
-	trialKernels              []*sim.Kernel
+	fabricFresh, fabricReused int64
+
+	trialDevs    []*nvm.Device
+	trialKernels []*sim.Kernel
+	trialFabrics []*rdma.Fabric
+
+	// trial accumulates the in-flight trial's arena-side counters; devSnap
+	// is the device pool's stats at the last endTrial, so the next
+	// endTrial can attribute the pool's delta to its trial.
+	trial   StatSink
+	devSnap nvm.PoolStats
 }
 
 // kernel returns a kernel seeded like sim.NewKernel(seed), pooled when
 // possible. Safe on a nil arena (always fresh) so helpers outside the
-// worker pool keep working.
+// worker pool keep working; a nil arena's kernels go unattributed.
 func (a *trialArena) kernel(seed uint64) *sim.Kernel {
-	if a == nil || poolingOff.Load() {
+	if a == nil {
 		return sim.NewKernel(seed)
+	}
+	a.trial.KernelGets++
+	if poolingOff.Load() {
+		a.trial.KernelFresh++
+		k := sim.NewKernel(seed)
+		a.trialKernels = append(a.trialKernels, k)
+		return k
 	}
 	a.kernelGets++
 	for n := len(a.kernels); n > 0; n = len(a.kernels) {
@@ -58,11 +76,13 @@ func (a *trialArena) kernel(seed uint64) *sim.Kernel {
 		a.kernels = a.kernels[:n-1]
 		if k.Reset(seed) {
 			a.kernelReused++
+			a.trial.KernelReused++
 			a.trialKernels = append(a.trialKernels, k)
 			return k
 		}
 	}
 	a.kernelFresh++
+	a.trial.KernelFresh++
 	k := sim.NewKernel(seed)
 	a.trialKernels = append(a.trialKernels, k)
 	return k
@@ -78,48 +98,94 @@ func (a *trialArena) device(name string, size int) *nvm.Device {
 	return d
 }
 
-// fabric builds a trial's fabric on k, drawing payload scratch buffers
-// from the arena's pool so they survive across trials.
+// fabric builds a trial's fabric on k, reusing a pooled fabric (and its
+// recycled NICs and payload buffers) when one is available.
 func (a *trialArena) fabric(k *sim.Kernel, cfg rdma.Config) *rdma.Fabric {
-	fab := rdma.NewFabric(k, cfg)
-	if a != nil && !poolingOff.Load() {
-		if a.bufs == nil {
-			a.bufs = &rdma.BufPool{}
-		}
-		fab.AdoptBufPool(a.bufs)
+	if a == nil {
+		return rdma.NewFabric(k, cfg)
 	}
+	a.trial.FabricBuilds++
+	if poolingOff.Load() {
+		fab := rdma.NewFabric(k, cfg)
+		a.trialFabrics = append(a.trialFabrics, fab)
+		return fab
+	}
+	var fab *rdma.Fabric
+	if n := len(a.fabrics); n > 0 {
+		fab = a.fabrics[n-1]
+		a.fabrics[n-1] = nil
+		a.fabrics = a.fabrics[:n-1]
+		fab.Reset(k, cfg)
+		a.fabricReused++
+		a.trial.FabricReused++
+	} else {
+		fab = rdma.NewFabric(k, cfg)
+		a.fabricFresh++
+	}
+	a.trialFabrics = append(a.trialFabrics, fab)
 	return fab
 }
 
 // endTrial releases everything the current trial acquired back to the
-// arena: devices are reset (zeroing only their written ranges) and
-// pooled, idle kernels are pooled for the next Reset, and the buffer pool
-// was shared all along. Safe on a nil arena.
-func (a *trialArena) endTrial() {
+// arena — devices are reset (zeroing only their written ranges) and
+// pooled, idle kernels are pooled for the next Reset, fabrics are pooled
+// whole — and attributes the trial's counters to rc's experiment run:
+// each kernel's executed-event count, each fabric's CQE/message/byte
+// totals, and the device pool's stat delta all land in rc's StatSink.
+// Safe on a nil arena and a nil rc.
+func (a *trialArena) endTrial(rc *runCtx) {
 	if a == nil {
 		return
 	}
+	t := a.trial
+	a.trial = StatSink{}
+	for i, k := range a.trialKernels {
+		t.SimEvents += k.Executed()
+		if !poolingOff.Load() {
+			a.kernelPuts++
+			if k.LiveFibers() == 0 {
+				a.kernels = append(a.kernels, k)
+			} else {
+				a.kernelDropped++
+			}
+		}
+		a.trialKernels[i] = nil
+	}
+	a.trialKernels = a.trialKernels[:0]
+	for i, f := range a.trialFabrics {
+		msgs, bytes := f.Stats()
+		t.Messages += msgs
+		t.WireBytes += bytes
+		t.CQEs += f.CQEs()
+		if !poolingOff.Load() {
+			a.fabrics = append(a.fabrics, f)
+		}
+		a.trialFabrics[i] = nil
+	}
+	a.trialFabrics = a.trialFabrics[:0]
 	for i, d := range a.trialDevs {
 		a.devices.Put(d)
 		a.trialDevs[i] = nil
 	}
 	a.trialDevs = a.trialDevs[:0]
-	for i, k := range a.trialKernels {
-		a.kernelPuts++
-		if k.LiveFibers() == 0 && !poolingOff.Load() {
-			a.kernels = append(a.kernels, k)
-		} else {
-			a.kernelDropped++
-		}
-		a.trialKernels[i] = nil
-	}
-	a.trialKernels = a.trialKernels[:0]
+	// The trial's Puts just ran, so the pool delta since the last endTrial
+	// is exactly this trial's device work.
+	cur := a.devices.Stats()
+	ds := cur.Sub(a.devSnap)
+	a.devSnap = cur
+	t.DeviceGets += ds.Gets
+	t.DevicePuts += ds.Puts
+	t.DeviceFresh += ds.Fresh
+	t.DeviceReused += ds.Reused
+	t.DeviceBytesZeroed += ds.BytesZeroed
+	t.DeviceBytesDemand += ds.BytesDemand
+	rc.addTrial(t)
 }
 
 // arenas is the package-level pool of trial arenas. Workers check one out
-// for the duration of a forEach (or a withArena call), so arenas — and
-// the device/kernel/buffer state they carry — are reused across
-// experiments, not just across one experiment's trials.
+// per trial slot, so arenas — and the device/kernel/fabric state they
+// carry — are reused across experiments, not just across one experiment's
+// trials.
 var arenas struct {
 	mu   sync.Mutex
 	free []*trialArena
@@ -140,8 +206,8 @@ func acquireArena() *trialArena {
 	return a
 }
 
-func releaseArena(a *trialArena) {
-	a.endTrial() // a worker exiting mid-trial (job error) still releases
+func releaseArena(a *trialArena, rc *runCtx) {
+	a.endTrial(rc) // a worker exiting mid-trial (job error) still releases
 	arenas.mu.Lock()
 	arenas.free = append(arenas.free, a)
 	arenas.mu.Unlock()
@@ -149,16 +215,20 @@ func releaseArena(a *trialArena) {
 
 // withArena runs fn with a checked-out arena and releases its trial state
 // afterwards — the serial-path equivalent of one forEach worker, for
-// experiments that build clusters outside a worker pool.
-func withArena(fn func(ar *trialArena) error) error {
+// experiments that build clusters outside a worker pool. The whole call
+// counts as one trial against rc's shared slot budget.
+func withArena(rc *runCtx, fn func(ar *trialArena) error) error {
+	rc.acquire()
+	defer rc.release()
 	ar := acquireArena()
-	defer releaseArena(ar)
+	defer releaseArena(ar, rc)
 	return fn(ar)
 }
 
-// ArenaStats aggregates trial-arena counters across all workers. The
-// bench harness samples it around each experiment; the deltas make the
-// pooling win observable (device_bytes_zeroed vs device_bytes_demand).
+// ArenaStats aggregates trial-arena counters across all workers; the
+// deltas make the pooling win observable (device_bytes_zeroed vs
+// device_bytes_demand). Per-experiment attribution does not use these
+// process-wide sums — each run's StatSink carries its own counters.
 type ArenaStats struct {
 	DeviceGets   int64 // devices acquired by trials
 	DevicePuts   int64 // devices released back (Gets-Puts = leaked)
@@ -177,11 +247,15 @@ type ArenaStats struct {
 	KernelFresh  int64
 	KernelReused int64
 	KernelIdle   int64
+
+	FabricFresh  int64
+	FabricReused int64
+	FabricIdle   int64
 }
 
 // Stats sums arena counters across all workers. Call it only while no
 // experiment is running (the counters are unsynchronized within a
-// worker); the bench harness samples between experiments.
+// worker); tests sample it between runs.
 func Stats() ArenaStats {
 	arenas.mu.Lock()
 	defer arenas.mu.Unlock()
@@ -200,6 +274,9 @@ func Stats() ArenaStats {
 		s.KernelFresh += a.kernelFresh
 		s.KernelReused += a.kernelReused
 		s.KernelIdle += int64(len(a.kernels))
+		s.FabricFresh += a.fabricFresh
+		s.FabricReused += a.fabricReused
+		s.FabricIdle += int64(len(a.fabrics))
 	}
 	return s
 }

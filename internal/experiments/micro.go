@@ -61,23 +61,23 @@ func memcpyIssue(c *cluster, f *sim.Fiber, size, i int) error {
 // Fig8a regenerates Figure 8(a): average and 99th-percentile gWRITE
 // latency vs message size, HyperLoop vs Naive-RDMA, group size 3, under
 // multi-tenant load on the replicas.
-func Fig8a(seed uint64, scale Scale) (*Report, error) {
-	return fig8(seed, scale, "fig8a", "gWRITE latency vs message size (Fig. 8a)", writeIssue)
+func fig8a(rc *runCtx, seed uint64, scale Scale) (*Report, error) {
+	return fig8(rc, seed, scale, "fig8a", "gWRITE latency vs message size (Fig. 8a)", writeIssue)
 }
 
 // Fig8b regenerates Figure 8(b): the same sweep for gMEMCPY.
-func Fig8b(seed uint64, scale Scale) (*Report, error) {
-	return fig8(seed, scale, "fig8b", "gMEMCPY latency vs message size (Fig. 8b)", memcpyIssue)
+func fig8b(rc *runCtx, seed uint64, scale Scale) (*Report, error) {
+	return fig8(rc, seed, scale, "fig8b", "gMEMCPY latency vs message size (Fig. 8b)", memcpyIssue)
 }
 
-func fig8(seed uint64, scale Scale, id, title string,
+func fig8(rc *runCtx, seed uint64, scale Scale, id, title string,
 	issue func(c *cluster, f *sim.Fiber, size, i int) error) (*Report, error) {
 	ops := scale.pick(300, 10000)
 	backends := []Backend{BackendNaiveEvent, BackendHyperLoop}
 	// One job per (backend, size); each builds its own cluster, so the
 	// trials run concurrently and merge in deterministic point order.
 	hists := make([]*metrics.Histogram, len(backends)*len(messageSizes))
-	err := forEach(len(hists), func(j int, ar *trialArena) error {
+	err := forEach(rc, len(hists), func(j int, ar *trialArena) error {
 		bi, si := j/len(messageSizes), j%len(messageSizes)
 		h, err := latencyTrial(ar, seed+uint64(si), backends[bi], 3, ops, messageSizes[si], issue)
 		if err != nil {
@@ -116,7 +116,7 @@ func fig8(seed uint64, scale Scale, id, title string,
 
 // Table2 regenerates Table 2: gCAS latency statistics (avg/p95/p99) for
 // Naive-RDMA vs HyperLoop.
-func Table2(seed uint64, scale Scale) (*Report, error) {
+func table2(rc *runCtx, seed uint64, scale Scale) (*Report, error) {
 	ops := scale.pick(500, 10000)
 	measure := func(ar *trialArena, backend Backend) (*metrics.Histogram, error) {
 		c, err := microCluster(ar, seed, backend, 3, true)
@@ -133,7 +133,7 @@ func Table2(seed uint64, scale Scale) (*Report, error) {
 	}
 	backends := []Backend{BackendNaiveEvent, BackendHyperLoop}
 	hists := make([]*metrics.Histogram, len(backends))
-	if err := forEach(len(backends), func(j int, ar *trialArena) error {
+	if err := forEach(rc, len(backends), func(j int, ar *trialArena) error {
 		h, err := measure(ar, backends[j])
 		if err != nil {
 			return err
@@ -160,7 +160,7 @@ func Table2(seed uint64, scale Scale) (*Report, error) {
 // Fig9 regenerates Figure 9: gWRITE throughput and critical-path CPU
 // consumption vs message size. Total transfer per point is scaled down
 // from the paper's 1 GB (see EXPERIMENTS.md).
-func Fig9(seed uint64, scale Scale) (*Report, error) {
+func fig9(rc *runCtx, seed uint64, scale Scale) (*Report, error) {
 	sizes := []int{1024, 2048, 4096, 8192, 16384, 32768, 65536}
 	totalBytes := scale.pick(2<<20, 64<<20)
 	const window = 16
@@ -238,7 +238,7 @@ func Fig9(seed uint64, scale Scale) (*Report, error) {
 
 	backends := []Backend{BackendNaivePinned, BackendHyperLoop}
 	points := make([]point, len(sizes)*len(backends))
-	if err := forEach(len(points), func(j int, ar *trialArena) error {
+	if err := forEach(rc, len(points), func(j int, ar *trialArena) error {
 		si, bi := j/len(backends), j%len(backends)
 		p, err := measure(ar, backends[bi], sizes[si])
 		if err != nil {
@@ -269,7 +269,7 @@ func Fig9(seed uint64, scale Scale) (*Report, error) {
 
 // Fig10 regenerates Figure 10: p99 gWRITE latency vs message size for
 // group sizes 3, 5 and 7, per backend.
-func Fig10(seed uint64, scale Scale) (*Report, error) {
+func fig10(rc *runCtx, seed uint64, scale Scale) (*Report, error) {
 	ops := scale.pick(200, 10000)
 	groupSizes := []int{3, 5, 7}
 	sizes := messageSizes
@@ -278,7 +278,7 @@ func Fig10(seed uint64, scale Scale) (*Report, error) {
 	// Flatten the triple loop (backend × group size × message size) into one
 	// job list; indexing keeps row/column assembly in deterministic order.
 	hists := make([]*metrics.Histogram, len(backends)*len(groupSizes)*len(sizes))
-	if err := forEach(len(hists), func(j int, ar *trialArena) error {
+	if err := forEach(rc, len(hists), func(j int, ar *trialArena) error {
 		bi := j / (len(groupSizes) * len(sizes))
 		gi := j / len(sizes) % len(groupSizes)
 		si := j % len(sizes)
@@ -332,7 +332,7 @@ func Fig10(seed uint64, scale Scale) (*Report, error) {
 // scheduling: with idle replica CPUs the naive baseline is competitive,
 // showing the paper's point that the CPU *scheduling*, not raw CPU speed,
 // causes the tail.
-func AblationNoLoad(seed uint64, scale Scale) (*Report, error) {
+func ablationNoLoad(rc *runCtx, seed uint64, scale Scale) (*Report, error) {
 	ops := scale.pick(300, 5000)
 	measure := func(ar *trialArena, backend Backend, loaded bool) (*metrics.Histogram, error) {
 		c, err := microCluster(ar, seed, backend, 3, loaded)
@@ -346,7 +346,7 @@ func AblationNoLoad(seed uint64, scale Scale) (*Report, error) {
 	backends := []Backend{BackendNaiveEvent, BackendHyperLoop}
 	loads := []bool{false, true}
 	hists := make([]*metrics.Histogram, len(backends)*len(loads))
-	if err := forEach(len(hists), func(j int, ar *trialArena) error {
+	if err := forEach(rc, len(hists), func(j int, ar *trialArena) error {
 		h, err := measure(ar, backends[j/len(loads)], loads[j%len(loads)])
 		if err != nil {
 			return err
@@ -376,7 +376,7 @@ func AblationNoLoad(seed uint64, scale Scale) (*Report, error) {
 }
 
 // AblationFlush quantifies the durability (gFLUSH interleaving) cost.
-func AblationFlush(seed uint64, scale Scale) (*Report, error) {
+func ablationFlush(rc *runCtx, seed uint64, scale Scale) (*Report, error) {
 	ops := scale.pick(300, 5000)
 	measure := func(ar *trialArena, durable bool) (*metrics.Histogram, error) {
 		c, err := microCluster(ar, seed, BackendHyperLoop, 3, false)
@@ -389,7 +389,7 @@ func AblationFlush(seed uint64, scale Scale) (*Report, error) {
 	}
 	modes := []bool{false, true}
 	hists := make([]*metrics.Histogram, len(modes))
-	if err := forEach(len(modes), func(j int, ar *trialArena) error {
+	if err := forEach(rc, len(modes), func(j int, ar *trialArena) error {
 		h, err := measure(ar, modes[j])
 		if err != nil {
 			return err
@@ -413,7 +413,7 @@ func AblationFlush(seed uint64, scale Scale) (*Report, error) {
 
 // AblationDepth sweeps the pre-armed window depth against pipelined
 // throughput — the design choice behind HyperLoop's pre-posted chains.
-func AblationDepth(seed uint64, scale Scale) (*Report, error) {
+func ablationDepth(rc *runCtx, seed uint64, scale Scale) (*Report, error) {
 	ops := scale.pick(400, 4000)
 	measure := func(ar *trialArena, depth int) (float64, error) {
 		cfg := clusterCfg{
@@ -468,7 +468,7 @@ func AblationDepth(seed uint64, scale Scale) (*Report, error) {
 	}
 	depths := []int{4, 8, 16, 32, 64}
 	kops := make([]float64, len(depths))
-	if err := forEach(len(depths), func(j int, ar *trialArena) error {
+	if err := forEach(rc, len(depths), func(j int, ar *trialArena) error {
 		k, err := measure(ar, depths[j])
 		if err != nil {
 			return err
@@ -501,7 +501,7 @@ func maxInt64(a, b int64) int64 {
 // extension: latency is comparable, but fan-out concentrates transmission
 // (and active write QPs) on the primary while the chain load-balances —
 // the trade-off §7 discusses.
-func AblationFanout(seed uint64, scale Scale) (*Report, error) {
+func ablationFanout(rc *runCtx, seed uint64, scale Scale) (*Report, error) {
 	ops := scale.pick(300, 5000)
 	const size = 1024
 	type res struct {
@@ -544,7 +544,7 @@ func AblationFanout(seed uint64, scale Scale) (*Report, error) {
 	}
 	topos := []bool{false, true}
 	results := make([]res, len(topos))
-	if err := forEach(len(topos), func(j int, ar *trialArena) error {
+	if err := forEach(rc, len(topos), func(j int, ar *trialArena) error {
 		r, err := measure(ar, topos[j])
 		if err != nil {
 			return err
@@ -579,9 +579,9 @@ func AblationFanout(seed uint64, scale Scale) (*Report, error) {
 // This experiment stays serial: all four modes deliberately share one
 // cluster and one txn store (the spectrum is measured on the same state),
 // so the trials are not independent jobs forEach could run concurrently.
-func AblationConsistency(seed uint64, scale Scale) (*Report, error) {
+func ablationConsistency(rc *runCtx, seed uint64, scale Scale) (*Report, error) {
 	ops := scale.pick(300, 5000)
-	tbl, err := ablationConsistencyTable(seed, ops)
+	tbl, err := ablationConsistencyTable(rc, seed, ops)
 	if err != nil {
 		return nil, err
 	}
@@ -597,9 +597,9 @@ func AblationConsistency(seed uint64, scale Scale) (*Report, error) {
 
 // ablationConsistencyTable runs the four modes on one shared cluster,
 // checked out of the arena pool like a single long trial.
-func ablationConsistencyTable(seed uint64, ops int) (*metrics.Table, error) {
+func ablationConsistencyTable(rc *runCtx, seed uint64, ops int) (*metrics.Table, error) {
 	var tbl *metrics.Table
-	err := withArena(func(ar *trialArena) error {
+	err := withArena(rc, func(ar *trialArena) error {
 		c, err := microCluster(ar, seed, BackendHyperLoop, 3, false)
 		if err != nil {
 			return err

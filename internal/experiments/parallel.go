@@ -10,9 +10,11 @@ import (
 var procs atomic.Int32
 
 // SetParallelism sets how many trials may run concurrently (0 restores the
-// default of GOMAXPROCS) and returns the previous setting. Each trial owns
-// a private sim.Kernel, so concurrency never changes virtual-time results:
-// reports are byte-identical at any parallelism level.
+// default of GOMAXPROCS) and returns the previous setting. The budget is
+// shared across experiments: when RunAll overlaps experiments, the total
+// number of in-flight trials process-wide stays at this bound. Each trial
+// owns a private sim.Kernel, so concurrency never changes virtual-time
+// results: reports are byte-identical at any parallelism level.
 func SetParallelism(n int) int {
 	return int(procs.Swap(int32(n)))
 }
@@ -25,15 +27,27 @@ func Parallelism() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// forEach runs job(0..n-1) on up to Parallelism() workers and waits for all
-// of them. Each worker checks a trialArena out of the package pool and
-// passes it to its jobs; the job builds its cluster/kernel/devices through
-// the arena and writes results into its own index slot, and the worker
-// releases the whole trial back to the arena when the job returns. When
-// several jobs fail, the error of the lowest index is returned — the same
-// one the serial loop would have hit first — so error reporting is
-// deterministic under any scheduling.
-func forEach(n int, job func(i int, ar *trialArena) error) error {
+// runTrial executes one trial job inside a slot of rc's shared budget,
+// with an arena checked out of the package pool for exactly the trial's
+// duration. The job builds its cluster/kernel/devices/fabric through the
+// arena; endTrial (via releaseArena) returns everything and attributes
+// the trial's counters to rc's sink.
+func runTrial(rc *runCtx, i int, job func(i int, ar *trialArena) error) error {
+	rc.acquire()
+	defer rc.release()
+	ar := acquireArena()
+	defer releaseArena(ar, rc)
+	return job(i, ar)
+}
+
+// forEach runs job(0..n-1) for the experiment run rc and waits for all
+// jobs. Trials run on up to Parallelism() workers, each holding one slot
+// of rc's shared cross-experiment budget (when rc carries one) per trial,
+// and each job writes results into its own index slot. When several jobs
+// fail, the error of the lowest index is returned — the same one the
+// serial loop would have hit first — so error reporting is deterministic
+// under any scheduling.
+func forEach(rc *runCtx, n int, job func(i int, ar *trialArena) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -42,16 +56,12 @@ func forEach(n int, job func(i int, ar *trialArena) error) error {
 		workers = n
 	}
 	if workers <= 1 {
-		return withArena(func(ar *trialArena) error {
-			for i := 0; i < n; i++ {
-				err := job(i, ar)
-				ar.endTrial()
-				if err != nil {
-					return err
-				}
+		for i := 0; i < n; i++ {
+			if err := runTrial(rc, i, job); err != nil {
+				return err
 			}
-			return nil
-		})
+		}
+		return nil
 	}
 	errs := make([]error, n)
 	var next atomic.Int64
@@ -60,15 +70,12 @@ func forEach(n int, job func(i int, ar *trialArena) error) error {
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			ar := acquireArena()
-			defer releaseArena(ar)
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				errs[i] = job(i, ar)
-				ar.endTrial()
+				errs[i] = runTrial(rc, i, job)
 			}
 		}()
 	}

@@ -14,7 +14,7 @@ func TestForEachRunsAllIndices(t *testing.T) {
 	defer SetParallelism(prev)
 	const n = 100
 	counts := make([]int32, n)
-	if err := forEach(n, func(i int, ar *trialArena) error {
+	if err := forEach(nil, n, func(i int, ar *trialArena) error {
 		atomic.AddInt32(&counts[i], 1)
 		return nil
 	}); err != nil {
@@ -36,7 +36,7 @@ func TestForEachFirstErrorByIndex(t *testing.T) {
 	errLow := errors.New("low")
 	errHigh := errors.New("high")
 	for trial := 0; trial < 20; trial++ {
-		err := forEach(16, func(i int, ar *trialArena) error {
+		err := forEach(nil, 16, func(i int, ar *trialArena) error {
 			switch i {
 			case 3:
 				time.Sleep(time.Millisecond) // lowest-index failure finishes last
@@ -58,7 +58,7 @@ func TestForEachBoundsWorkers(t *testing.T) {
 	defer SetParallelism(prev)
 	var cur, max int32
 	var mu sync.Mutex
-	if err := forEach(30, func(i int, ar *trialArena) error {
+	if err := forEach(nil, 30, func(i int, ar *trialArena) error {
 		c := atomic.AddInt32(&cur, 1)
 		mu.Lock()
 		if c > max {
@@ -83,7 +83,7 @@ func TestForEachSerialShortCircuits(t *testing.T) {
 	defer SetParallelism(prev)
 	ran := 0
 	boom := errors.New("boom")
-	err := forEach(10, func(i int, ar *trialArena) error {
+	err := forEach(nil, 10, func(i int, ar *trialArena) error {
 		ran++
 		if i == 2 {
 			return boom

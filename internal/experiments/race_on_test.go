@@ -1,0 +1,9 @@
+//go:build race
+
+package experiments
+
+// raceEnabled lets heavyweight determinism goldens shrink their matrix
+// under the race detector, whose ~10× slowdown would otherwise push the
+// package past CI's test timeout. Full-matrix byte-identity is still
+// covered by the non-race run of the same tests.
+const raceEnabled = true

@@ -5,31 +5,34 @@ import (
 	"sort"
 )
 
-// Fn is an experiment entry point.
-type Fn func(seed uint64, scale Scale) (*Report, error)
+// runFn is an experiment entry point. rc identifies the run: the trials
+// an experiment schedules report their counters into rc's StatSink, and
+// when the two-level scheduler dispatched the run, trials also draw slots
+// from rc's shared cross-experiment budget.
+type runFn func(rc *runCtx, seed uint64, scale Scale) (*Report, error)
 
 // entry pairs an experiment with its description for listings.
 type entry struct {
-	fn   Fn
+	fn   runFn
 	desc string
 }
 
 var registry = map[string]entry{
-	"fig2a":           {Fig2a, "latency & context switches vs replica-sets per server (§2.2)"},
-	"fig2b":           {Fig2b, "latency vs cores per machine (§2.2)"},
-	"fig8a":           {Fig8a, "gWRITE latency vs message size (§6.1)"},
-	"fig8b":           {Fig8b, "gMEMCPY latency vs message size (§6.1)"},
-	"table2":          {Table2, "gCAS latency statistics (§6.1)"},
-	"fig9":            {Fig9, "gWRITE throughput + critical-path CPU (§6.1)"},
-	"fig10":           {Fig10, "p99 gWRITE latency vs group size (§6.1)"},
-	"fig11":           {Fig11, "KV store YCSB-A latency across backends (§6.2)"},
-	"fig12":           {Fig12, "document store latency across YCSB workloads (§6.2)"},
-	"table3":          {Table3, "YCSB workload definitions (§6.2)"},
-	"abl-load":        {AblationNoLoad, "ablation: co-located load is the root cause"},
-	"abl-flush":       {AblationFlush, "ablation: gFLUSH durability cost"},
-	"abl-depth":       {AblationDepth, "ablation: pre-armed window depth"},
-	"abl-fanout":      {AblationFanout, "ablation: chain vs fan-out topology (§7)"},
-	"abl-consistency": {AblationConsistency, "ablation: weaker consistency models (§7)"},
+	"fig2a":           {fig2a, "latency & context switches vs replica-sets per server (§2.2)"},
+	"fig2b":           {fig2b, "latency vs cores per machine (§2.2)"},
+	"fig8a":           {fig8a, "gWRITE latency vs message size (§6.1)"},
+	"fig8b":           {fig8b, "gMEMCPY latency vs message size (§6.1)"},
+	"table2":          {table2, "gCAS latency statistics (§6.1)"},
+	"fig9":            {fig9, "gWRITE throughput + critical-path CPU (§6.1)"},
+	"fig10":           {fig10, "p99 gWRITE latency vs group size (§6.1)"},
+	"fig11":           {fig11, "KV store YCSB-A latency across backends (§6.2)"},
+	"fig12":           {fig12, "document store latency across YCSB workloads (§6.2)"},
+	"table3":          {table3, "YCSB workload definitions (§6.2)"},
+	"abl-load":        {ablationNoLoad, "ablation: co-located load is the root cause"},
+	"abl-flush":       {ablationFlush, "ablation: gFLUSH durability cost"},
+	"abl-depth":       {ablationDepth, "ablation: pre-armed window depth"},
+	"abl-fanout":      {ablationFanout, "ablation: chain vs fan-out topology (§7)"},
+	"abl-consistency": {ablationConsistency, "ablation: weaker consistency models (§7)"},
 }
 
 // Names returns all experiment ids, sorted.
@@ -45,13 +48,29 @@ func Names() []string {
 // Describe returns an experiment's one-line description.
 func Describe(name string) string { return registry[name].desc }
 
-// Run executes the named experiment.
-func Run(name string, seed uint64, scale Scale) (*Report, error) {
+// runWith executes the named experiment for the run rc.
+func runWith(rc *runCtx, name string, seed uint64, scale Scale) (*Report, error) {
 	e, ok := registry[name]
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names())
 	}
-	return e.fn(seed, scale)
+	return e.fn(rc, seed, scale)
+}
+
+// Run executes the named experiment.
+func Run(name string, seed uint64, scale Scale) (*Report, error) {
+	r, _, err := RunStats(name, seed, scale)
+	return r, err
+}
+
+// RunStats executes the named experiment and returns, alongside the
+// report, the simulation counters attributed to exactly this run's
+// trials. The deterministic fields (see StatSink) are identical at any
+// -procs setting and whether or not other experiments ran concurrently.
+func RunStats(name string, seed uint64, scale Scale) (*Report, StatSink, error) {
+	rc := &runCtx{}
+	rep, err := runWith(rc, name, seed, scale)
+	return rep, rc.stats(), err
 }
 
 // PaperOrder lists experiment ids in the order they appear in the paper.

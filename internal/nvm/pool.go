@@ -15,6 +15,20 @@ type PoolStats struct {
 	BytesDemand int64
 }
 
+// Sub returns the counter deltas s-o. Trial arenas snapshot a pool's
+// stats around each trial and use the delta to attribute the trial's
+// device work to the experiment that ran it.
+func (s PoolStats) Sub(o PoolStats) PoolStats {
+	return PoolStats{
+		Gets:        s.Gets - o.Gets,
+		Puts:        s.Puts - o.Puts,
+		Fresh:       s.Fresh - o.Fresh,
+		Reused:      s.Reused - o.Reused,
+		BytesZeroed: s.BytesZeroed - o.BytesZeroed,
+		BytesDemand: s.BytesDemand - o.BytesDemand,
+	}
+}
+
 // DevicePool recycles Devices by exact size. Put resets a device to its
 // freshly-allocated state (zeroing only its written ranges); Get hands it
 // out again under a new name. The pool is used from one goroutine at a

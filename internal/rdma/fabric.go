@@ -60,11 +60,21 @@ type Fabric struct {
 	// bytesOnWire counts total payload+header bytes transmitted.
 	bytesOnWire int64
 	msgs        int64
+	// cqes counts completion-queue entries delivered across all of the
+	// fabric's CQs. Together with msgs/bytesOnWire these are the fabric's
+	// owned counters: they rewind on Reset, so a trial's fabric reports
+	// exactly that trial's work and an arena can attribute it to the
+	// experiment that ran the trial.
+	cqes int64
 
 	// bufs recycles payload scratch buffers. The fabric is single-threaded
 	// (one kernel), so no locking; buffers are returned once the responder
 	// has applied the message or the requester has consumed the response.
 	bufs *BufPool
+
+	// nicFree holds recycled NIC structs awaiting reuse by AddNIC after a
+	// Reset; their MR/QP/CQ map storage survives across trials.
+	nicFree []*NIC
 }
 
 // bufClasses covers scratch buffers up to 1<<(bufClasses-1) = 32 MB;
@@ -136,24 +146,48 @@ func (f *Fabric) AdoptBufPool(bp *BufPool) {
 	}
 }
 
+// normalize fills unset config fields with the calibrated defaults.
+func (c Config) normalize() Config {
+	if c.BandwidthBps <= 0 {
+		c.BandwidthBps = DefaultConfig().BandwidthBps
+	}
+	if c.MemCopyBps <= 0 {
+		c.MemCopyBps = DefaultConfig().MemCopyBps
+	}
+	if c.RNRRetryDelay <= 0 {
+		c.RNRRetryDelay = DefaultConfig().RNRRetryDelay
+	}
+	return c
+}
+
 // NewFabric creates a fabric driven by kernel k.
 func NewFabric(k *sim.Kernel, cfg Config) *Fabric {
-	if cfg.BandwidthBps <= 0 {
-		cfg.BandwidthBps = DefaultConfig().BandwidthBps
-	}
-	if cfg.MemCopyBps <= 0 {
-		cfg.MemCopyBps = DefaultConfig().MemCopyBps
-	}
-	if cfg.RNRRetryDelay <= 0 {
-		cfg.RNRRetryDelay = DefaultConfig().RNRRetryDelay
-	}
 	return &Fabric{
 		k:    k,
-		cfg:  cfg,
+		cfg:  cfg.normalize(),
 		rng:  k.RNG().Fork(),
 		nics: make(map[string]*NIC),
 		bufs: &BufPool{},
 	}
+}
+
+// Reset returns the fabric to the state NewFabric(k, cfg) would produce
+// while keeping allocated capacity: the NIC table's storage, retired NIC
+// structs (with their MR/QP/CQ maps), and any adopted scratch-buffer pool
+// all survive for the next trial. Behaviour after Reset is byte-identical
+// to a fresh fabric's — the RNG is re-forked from k exactly as NewFabric
+// does, and a recycled NIC is indistinguishable from a new one — so
+// fabric pooling can never move a virtual-time number.
+func (f *Fabric) Reset(k *sim.Kernel, cfg Config) {
+	for host, n := range f.nics {
+		n.recycle()
+		f.nicFree = append(f.nicFree, n)
+		delete(f.nics, host)
+	}
+	f.k = k
+	f.cfg = cfg.normalize()
+	f.rng = k.RNG().Fork()
+	f.msgs, f.bytesOnWire, f.cqes = 0, 0, 0
 }
 
 // Kernel returns the driving simulation kernel.
@@ -162,18 +196,29 @@ func (f *Fabric) Kernel() *sim.Kernel { return f.k }
 // Config returns the fabric's timing configuration.
 func (f *Fabric) Config() Config { return f.cfg }
 
-// AddNIC attaches a NIC named host whose host memory is dev.
+// AddNIC attaches a NIC named host whose host memory is dev, reusing a
+// recycled NIC struct when Reset has retired one.
 func (f *Fabric) AddNIC(host string, dev *nvm.Device) (*NIC, error) {
 	if _, ok := f.nics[host]; ok {
 		return nil, fmt.Errorf("rdma: duplicate NIC %q", host)
 	}
-	n := &NIC{
-		fabric: f,
-		host:   host,
-		mem:    dev,
-		mrs:    make(map[uint32]*MemoryRegion),
-		qps:    make(map[uint32]*QP),
-		cqs:    make(map[uint32]*CQ),
+	var n *NIC
+	if l := len(f.nicFree); l > 0 {
+		n = f.nicFree[l-1]
+		f.nicFree[l-1] = nil
+		f.nicFree = f.nicFree[:l-1]
+		n.fabric = f
+		n.host = host
+		n.mem = dev
+	} else {
+		n = &NIC{
+			fabric: f,
+			host:   host,
+			mem:    dev,
+			mrs:    make(map[uint32]*MemoryRegion),
+			qps:    make(map[uint32]*QP),
+			cqs:    make(map[uint32]*CQ),
+		}
 	}
 	f.nics[host] = n
 	return n, nil
@@ -189,5 +234,14 @@ func (f *Fabric) xmitTime(size int) sim.Duration {
 	return sim.Duration(sec * 1e9)
 }
 
-// Stats reports fabric-wide transmission totals.
+// Stats reports fabric-wide transmission totals since creation or the
+// last Reset.
 func (f *Fabric) Stats() (messages, bytes int64) { return f.msgs, f.bytesOnWire }
+
+// CQEs reports the number of completion-queue entries delivered across
+// all of the fabric's CQs since creation or the last Reset.
+func (f *Fabric) CQEs() int64 { return f.cqes }
+
+// PooledNICs reports the number of recycled NIC structs awaiting reuse;
+// leak tests compare it across trials.
+func (f *Fabric) PooledNICs() int { return len(f.nicFree) }

@@ -174,6 +174,7 @@ func (c *CQ) Total() int64 { return c.total }
 func (c *CQ) push(e CQE) {
 	e.At = c.nic.fabric.k.Now()
 	c.total++
+	c.nic.fabric.cqes++
 	switch {
 	case c.drainHandler != nil:
 		// Migrate anything queued before the drain handler was installed
@@ -348,6 +349,21 @@ func (n *NIC) QP(qpn uint32) *QP { return n.qps[qpn] }
 
 // Stats reports WQEs executed and payload bytes transmitted by this NIC.
 func (n *NIC) Stats() (wqes, bytesTx int64) { return n.wqesExecuted, n.bytesTx }
+
+// recycle strips the NIC for reuse under a new identity: registered
+// regions, queue pairs, and completion queues are dropped (their map
+// storage is retained), counters and id allocators rewind to zero, and
+// the device reference is released. A recycled NIC re-issued by AddNIC is
+// indistinguishable from a freshly allocated one.
+func (n *NIC) recycle() {
+	clear(n.mrs)
+	clear(n.qps)
+	clear(n.cqs)
+	n.mem = nil
+	n.down = false
+	n.nextKey, n.nextQPN, n.nextCQN = 0, 0, 0
+	n.wqesExecuted, n.bytesTx = 0, 0
+}
 
 // send transmits a message to a peer QP with FIFO ordering per direction.
 // Loopback traffic (same NIC) skips the wire entirely and costs only NIC
