@@ -10,6 +10,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	root "hyperloop"
@@ -21,7 +22,7 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "ycsb-run:", err)
 		os.Exit(1)
 	}
@@ -77,7 +78,9 @@ func (a docDB) ReadModifyWrite(f *sim.Fiber, key int, v []byte) error {
 	return a.Update(f, key, v)
 }
 
-func run(args []string) error {
+// run executes one workload and prints the latency table to out; split
+// from main so tests can drive flag combinations and inspect the output.
+func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("ycsb-run", flag.ContinueOnError)
 	var (
 		dbKind   = fs.String("db", "kv", "store under test: kv | doc")
@@ -170,9 +173,9 @@ func run(args []string) error {
 	}
 	s := result.Overall.Summarize()
 	tbl.AddRow("overall", s.Count, s.Mean, s.P95, s.P99, s.Max)
-	fmt.Println(tbl)
+	fmt.Fprintln(out, tbl)
 	if result.Errors > 0 {
-		fmt.Printf("errors: %d\n", result.Errors)
+		fmt.Fprintf(out, "errors: %d\n", result.Errors)
 	}
 	return nil
 }

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"unknown flag", []string{"-nope"}, "flag provided but not defined"},
+		{"bad db", []string{"-db", "graph"}, `unknown -db "graph"`},
+		{"bad backend", []string{"-backend", "tcp"}, `unknown backend "tcp"`},
+		{"bad workload", []string{"-workload", "Z"}, "unknown workload"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := run(tc.args, io.Discard)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("run(%v) = %v, want error containing %q", tc.args, err, tc.want)
+			}
+		})
+	}
+}
+
+// smokeArgs keeps the simulated runs small enough for the test suite.
+func smokeArgs(extra ...string) []string {
+	return append([]string{"-records", "40", "-ops", "120", "-value", "128", "-load=false"}, extra...)
+}
+
+func TestRunKVSmoke(t *testing.T) {
+	var out strings.Builder
+	if err := run(smokeArgs("-db", "kv", "-workload", "A"), &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	assertTableShape(t, out.String(), "YCSB-A on kv store, hyperloop backend (40 records, 120 ops)")
+}
+
+func TestRunDocSmoke(t *testing.T) {
+	var out strings.Builder
+	if err := run(smokeArgs("-db", "doc", "-workload", "B", "-backend", "naive-event"), &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	assertTableShape(t, out.String(), "YCSB-B on doc store, naive-event backend (40 records, 120 ops)")
+}
+
+// assertTableShape checks the golden output shape: the title line, the
+// column header, at least one per-op row, and the trailing overall row
+// whose count covers every operation.
+func assertTableShape(t *testing.T, got, title string) {
+	t.Helper()
+	if !strings.Contains(got, title) {
+		t.Errorf("output missing title %q:\n%s", title, got)
+	}
+	if !strings.Contains(got, "operation") || !strings.Contains(got, "p99") {
+		t.Errorf("output missing column header:\n%s", got)
+	}
+	lines := strings.Split(strings.TrimSpace(got), "\n")
+	var overall string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "overall") {
+			overall = l
+		}
+	}
+	if overall == "" {
+		t.Fatalf("output missing overall row:\n%s", got)
+	}
+	if !strings.Contains(overall, "120") {
+		t.Errorf("overall row %q does not report the 120 ops", overall)
+	}
+	if strings.Contains(got, "errors:") {
+		t.Errorf("workload reported errors:\n%s", got)
+	}
+}
+
+func TestRunDeterministicAcrossRepeats(t *testing.T) {
+	// The whole run is virtual-time simulation: identical flags must give
+	// byte-identical output.
+	var a, b strings.Builder
+	if err := run(smokeArgs("-db", "kv", "-workload", "F", "-seed", "7"), &a); err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	if err := run(smokeArgs("-db", "kv", "-workload", "F", "-seed", "7"), &b); err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+	if a.String() != b.String() {
+		t.Errorf("output differs across identical runs:\n--- first\n%s\n--- second\n%s", a.String(), b.String())
+	}
+}

@@ -23,6 +23,13 @@ var (
 	ErrNoHealthy  = errors.New("chain: no healthy source for catch-up")
 	ErrBadMember  = errors.New("chain: bad member index")
 	ErrNotStarted = errors.New("chain: monitor not started")
+	// ErrSourceLost reports that the catch-up source died mid-transfer;
+	// the copied image cannot be trusted and the caller must pick a new
+	// source and retry.
+	ErrSourceLost = errors.New("chain: catch-up source died during transfer")
+	// ErrTargetLost reports that the replacement died mid-transfer; the
+	// caller must provision a different replacement.
+	ErrTargetLost = errors.New("chain: catch-up target died during transfer")
 )
 
 // Config parameterizes failure detection.
@@ -215,6 +222,17 @@ func (m *Manager) CatchUp(f *sim.Fiber, to *rdma.NIC, mirrorSize int) (int, erro
 	// Transfer time: full image over the wire.
 	sec := float64(mirrorSize) * 8 / m.cfg.CatchUpBandwidthBps
 	f.Sleep(sim.Duration(sec * 1e9))
+	// The transfer window is exactly when a second failure can strike.
+	// Re-check both ends before installing the image: a source that died
+	// mid-transfer may have stopped streaming anywhere, so the snapshot
+	// read above can no longer be certified complete, and a dead target
+	// would silently absorb the image into memory nothing will ever serve.
+	if m.members[src].nic.Down() {
+		return src, fmt.Errorf("%w (source member %d)", ErrSourceLost, src)
+	}
+	if to.Down() {
+		return src, fmt.Errorf("%w (target %s)", ErrTargetLost, to.Host())
+	}
 	if err := to.Memory().Write(0, img); err != nil {
 		return src, err
 	}

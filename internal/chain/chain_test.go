@@ -183,6 +183,58 @@ func TestCatchUpCopiesDurableState(t *testing.T) {
 	}
 }
 
+// TestCatchUpSourceDiesMidTransfer pins the race the transfer sleep
+// opens: the source fails while the image is in flight, so CatchUp must
+// return ErrSourceLost and must not install the now-uncertifiable image.
+func TestCatchUpSourceDiesMidTransfer(t *testing.T) {
+	k := sim.NewKernel(1)
+	_, nics := buildNICs(t, k, 3)
+	m, err := New(k, nics, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = nics[0].Memory().Write(0, []byte("doomed source image"))
+	// A 64 KB transfer at the default bandwidth takes ~9µs; kill the
+	// source halfway through it.
+	k.After(4*sim.Microsecond, func() { nics[0].SetDown(true) })
+	var catchErr error
+	k.Spawn("recovery", func(f *sim.Fiber) {
+		_, catchErr = m.CatchUp(f, nics[2], 64*1024)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(catchErr, ErrSourceLost) {
+		t.Fatalf("err = %v, want ErrSourceLost", catchErr)
+	}
+	got := make([]byte, 6)
+	_ = nics[2].Memory().Read(0, got)
+	if string(got) == "doomed" {
+		t.Fatal("untrusted image was installed on the replacement")
+	}
+}
+
+// TestCatchUpTargetDiesMidTransfer covers the other end of the same race.
+func TestCatchUpTargetDiesMidTransfer(t *testing.T) {
+	k := sim.NewKernel(1)
+	_, nics := buildNICs(t, k, 3)
+	m, err := New(k, nics[:2], DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.After(4*sim.Microsecond, func() { nics[2].SetDown(true) })
+	var catchErr error
+	k.Spawn("recovery", func(f *sim.Fiber) {
+		_, catchErr = m.CatchUp(f, nics[2], 64*1024)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(catchErr, ErrTargetLost) {
+		t.Fatalf("err = %v, want ErrTargetLost", catchErr)
+	}
+}
+
 func TestCatchUpNeedsHealthySource(t *testing.T) {
 	k := sim.NewKernel(1)
 	_, nics := buildNICs(t, k, 2)
@@ -273,7 +325,10 @@ func TestEndToEndFailover(t *testing.T) {
 			return
 		}
 
-		// Re-establish the datapath: a fresh group over the new chain.
+		// Re-establish the datapath: close the old group first — its
+		// abandoned QPs share ring memory with the successor and must not
+		// wake on its traffic — then build a fresh group over the new chain.
+		g.Close()
 		g2, err := hyperloop.Setup(fab, client, []*rdma.NIC{r0, spare, r2}, hyperloop.DefaultConfig(mirror))
 		if err != nil {
 			t.Errorf("re-setup: %v", err)

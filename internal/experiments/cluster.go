@@ -83,6 +83,14 @@ type clusterCfg struct {
 	// Overrides for the naive backend's per-op CPU costs (0 = defaults).
 	naiveRecvCPU sim.Duration
 	naivePostCPU sim.Duration
+
+	// Failure handling: group operation timeout, retries on the blocking
+	// paths (0 = disabled), and a fault plan installed on the fabric right
+	// after it is built.
+	opTimeout    sim.Duration
+	maxRetries   int
+	retryBackoff sim.Duration
+	faults       *rdma.FaultPlan
 }
 
 // multiTenantLoad configures the paper's co-location: ~10 tenant processes
@@ -121,6 +129,9 @@ func newCluster(cfg clusterCfg) (*cluster, error) {
 	}
 	k := cfg.ar.kernel(cfg.seed)
 	fab := cfg.ar.fabric(k, rdma.DefaultConfig())
+	if cfg.faults != nil {
+		fab.InstallFaultPlan(cfg.faults)
+	}
 	client, err := fab.AddNIC("client", cfg.ar.device("client", devSize(cfg.mirror)))
 	if err != nil {
 		return nil, err
@@ -153,6 +164,9 @@ func newCluster(cfg clusterCfg) (*cluster, error) {
 	case BackendHyperLoop:
 		gcfg := hyperloop.DefaultConfig(cfg.mirror)
 		gcfg.Depth = cfg.depth
+		gcfg.OpTimeout = cfg.opTimeout
+		gcfg.MaxRetries = cfg.maxRetries
+		gcfg.RetryBackoff = cfg.retryBackoff
 		g, err := hyperloop.Setup(fab, client, reps, gcfg)
 		if err != nil {
 			return nil, err
@@ -162,6 +176,9 @@ func newCluster(cfg clusterCfg) (*cluster, error) {
 	default:
 		gcfg := naive.DefaultConfig(cfg.mirror)
 		gcfg.Depth = cfg.depth
+		gcfg.OpTimeout = cfg.opTimeout
+		gcfg.MaxRetries = cfg.maxRetries
+		gcfg.RetryBackoff = cfg.retryBackoff
 		if cfg.naiveRecvCPU > 0 {
 			gcfg.RecvHandlerCPU = cfg.naiveRecvCPU
 		}

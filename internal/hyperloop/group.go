@@ -26,6 +26,14 @@ type Config struct {
 	// OpTimeout aborts an operation whose ACK does not arrive in time
 	// (0 disables). Needed when replicas fail.
 	OpTimeout sim.Duration
+	// MaxRetries re-issues a blocking operation that failed with
+	// ErrTimeout up to this many extra times (0 disables). Re-issue is
+	// safe because gWRITE/gMEMCPY/gFLUSH are idempotent and each attempt
+	// takes a fresh sequence number; gCAS is never retried.
+	MaxRetries int
+	// RetryBackoff is the linear backoff between retries: attempt k
+	// sleeps k*RetryBackoff before re-issuing.
+	RetryBackoff sim.Duration
 }
 
 // DefaultConfig returns a config suitable for the benchmarks.
@@ -42,6 +50,7 @@ var (
 	ErrTooManyInFlight = errors.New("hyperloop: operation window exceeded")
 	ErrTimeout         = errors.New("hyperloop: operation timed out")
 	ErrBadArgument     = errors.New("hyperloop: bad argument")
+	ErrClosed          = errors.New("hyperloop: group closed")
 )
 
 // opKind distinguishes the four primitives on the wire.
@@ -108,6 +117,8 @@ type Group struct {
 
 	opsIssued    int64
 	opsCompleted int64
+	retries      int64
+	closed       bool
 
 	ackBuf []byte // onAck decode scratch, reused across ACKs
 }
@@ -312,6 +323,41 @@ func (g *Group) connect() {
 	g.replicas[len(g.replicas)-1].qpNext.Connect(g.qpAck)
 }
 
+// Close tears the group's datapath down: every in-flight operation fails
+// with ErrClosed, re-arm timers become no-ops, and every QP and CQ the
+// group created is destroyed at the rdma layer. Closing the old group is
+// mandatory before re-establishing one over surviving members (failover):
+// both groups allocate their control rings at identical device offsets,
+// so an abandoned group's still-parked QPs would wake on the successor's
+// traffic, re-read the rewritten ring slots, and steal the successor's
+// WAIT completions — its chains then stall forever on disowned WQEs.
+func (g *Group) Close() {
+	if g.closed {
+		return
+	}
+	g.closed = true
+	for seq, op := range g.inflight {
+		if op.timer != nil {
+			op.timer.Stop()
+		}
+		delete(g.inflight, seq)
+		op.sig.Fire(ErrClosed)
+	}
+	for wrid, sig := range g.reads {
+		delete(g.reads, wrid)
+		sig.Fire(ErrClosed)
+	}
+	qps := []*rdma.QP{g.qpHead, g.qpAck}
+	for _, r := range g.replicas {
+		qps = append(qps, r.qpPrev, r.qpNext, r.qpLoop)
+	}
+	for _, q := range qps {
+		q.SendCQ().Destroy()
+		q.RecvCQ().Destroy()
+		q.Destroy()
+	}
+}
+
 // GroupSize returns the number of replicas.
 func (g *Group) GroupSize() int { return len(g.replicas) }
 
@@ -324,6 +370,10 @@ func (g *Group) ClientNIC() *rdma.NIC { return g.client }
 
 // Stats reports operations issued and completed.
 func (g *Group) Stats() (issued, completed int64) { return g.opsIssued, g.opsCompleted }
+
+// Retried reports how many timed-out operations were re-issued by the
+// blocking paths.
+func (g *Group) Retried() int64 { return g.retries }
 
 // InFlight returns the number of operations awaiting their group ACK.
 func (g *Group) InFlight() int { return len(g.inflight) }

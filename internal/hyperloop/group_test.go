@@ -401,6 +401,108 @@ func TestOpTimeoutOnDeadReplica(t *testing.T) {
 	})
 }
 
+func TestRetryBoundedOnPermanentCrash(t *testing.T) {
+	// A permanently dead mid-chain replica must make a retried Write fail
+	// in bounded time — exactly MaxRetries re-issues, never a hang. (The
+	// pre-armed WQE chains die with the replica, so retries cannot succeed
+	// without group re-setup; what they must do is terminate.)
+	cfg := DefaultConfig(testMirror)
+	cfg.OpTimeout = 500 * sim.Microsecond
+	cfg.MaxRetries = 2
+	cfg.RetryBackoff = 100 * sim.Microsecond
+	k, g := testGroup(t, 3, cfg)
+	runFiber(t, k, func(f *sim.Fiber) {
+		g.ReplicaNIC(1).SetDown(true)
+		_ = g.WriteLocal(0, []byte{1})
+		start := f.Now()
+		err := g.Write(f, 0, 1, false)
+		if !errors.Is(err, ErrTimeout) {
+			t.Errorf("err = %v, want ErrTimeout", err)
+		}
+		if got := g.Retried(); got != 2 {
+			t.Errorf("Retried() = %d, want 2", got)
+		}
+		// 3 attempts x 500µs timeout + 100µs + 200µs backoff, plus slack.
+		if el := f.Now().Sub(start); el > 3*sim.Millisecond {
+			t.Errorf("write took %v, want bounded by retries", el)
+		}
+		if g.InFlight() != 0 {
+			t.Errorf("inflight = %d after retries exhausted", g.InFlight())
+		}
+	})
+	if n := k.LiveFibers(); n != 0 {
+		t.Errorf("%d fibers still live", n)
+	}
+}
+
+func TestCloseThenResetupOverlappingNICs(t *testing.T) {
+	// Failover re-establishes a group over surviving members. Both Setups
+	// allocate control rings at identical device offsets, so the old
+	// group's QPs — still parked on WAITs — would wake on the new group's
+	// traffic, re-read the rewritten ring slots, and steal its WAIT
+	// completions, stalling the new chain forever on disowned WQEs.
+	// Close must make the abandoned datapath fully inert.
+	k := sim.NewKernel(1)
+	fab := rdma.NewFabric(k, rdma.DefaultConfig())
+	client, err := fab.AddNIC("client", nvm.NewDevice("client", testDev))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reps []*rdma.NIC
+	for _, h := range []string{"r0", "r1", "r2", "spare"} {
+		nic, err := fab.AddNIC(h, nvm.NewDevice(h, testDev))
+		if err != nil {
+			t.Fatal(err)
+		}
+		reps = append(reps, nic)
+	}
+	cfg := DefaultConfig(testMirror)
+	cfg.OpTimeout = 200 * sim.Microsecond
+	g1, err := Setup(fab, client, reps[:3], cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1.Close()
+	if _, err := g1.WriteAsync(0, 64, false); !errors.Is(err, ErrClosed) {
+		t.Fatalf("WriteAsync on closed group: err = %v, want ErrClosed", err)
+	}
+	g2, err := Setup(fab, client, []*rdma.NIC{reps[0], reps[3], reps[2]}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runFiber(t, k, func(f *sim.Fiber) {
+		for i := 0; i < 100; i++ {
+			if err := g2.Write(f, (i%16)*1024, 1024, true); err != nil {
+				t.Fatalf("write %d on re-established group: %v", i, err)
+			}
+		}
+	})
+	if _, completed := g2.Stats(); completed != 100 {
+		t.Errorf("completed = %d, want 100", completed)
+	}
+}
+
+func TestCloseFailsInFlightOps(t *testing.T) {
+	// Close fires ErrClosed into every awaiting fiber; nothing hangs on an
+	// operation the torn-down datapath will never complete.
+	cfg := DefaultConfig(testMirror)
+	k, g := testGroup(t, 2, cfg)
+	runFiber(t, k, func(f *sim.Fiber) {
+		g.ReplicaNIC(0).SetDown(true) // freeze the chain so the op stays in flight
+		sig, err := g.WriteAsync(0, 64, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.Close()
+		if err := f.Await(sig); !errors.Is(err, ErrClosed) {
+			t.Errorf("await = %v, want ErrClosed", err)
+		}
+		if g.InFlight() != 0 {
+			t.Errorf("inflight = %d after Close", g.InFlight())
+		}
+	})
+}
+
 func TestBadRangeRejected(t *testing.T) {
 	k, g := testGroup(t, 2, DefaultConfig(testMirror))
 	runFiber(t, k, func(f *sim.Fiber) {

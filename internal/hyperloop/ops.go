@@ -2,6 +2,7 @@ package hyperloop
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 
 	"hyperloop/internal/rdma"
@@ -104,6 +105,9 @@ func (g *Group) buildBlock(buf []byte, i int, seq uint64, kind opKind, p opParam
 // issue builds and transmits one group operation, returning its pending
 // handle. The caller awaits p.sig.
 func (g *Group) issue(kind opKind, p opParams) (*pendingOp, error) {
+	if g.closed {
+		return nil, ErrClosed
+	}
 	if len(g.inflight) >= g.cfg.Depth-2 {
 		return nil, ErrTooManyInFlight
 	}
@@ -236,13 +240,31 @@ func (g *Group) WriteAsync(off, size int, durable bool) (*sim.Signal, error) {
 	return op.sig, nil
 }
 
-// Write is the blocking form of WriteAsync.
-func (g *Group) Write(f *sim.Fiber, off, size int, durable bool) error {
-	sig, err := g.WriteAsync(off, size, durable)
-	if err != nil {
-		return err
+// retry runs an idempotent async issue function, awaiting its signal and
+// re-issuing on ErrTimeout up to MaxRetries extra attempts with linear
+// backoff. Only the blocking forms of idempotent primitives use it.
+func (g *Group) retry(f *sim.Fiber, issue func() (*sim.Signal, error)) error {
+	for attempt := 0; ; attempt++ {
+		sig, err := issue()
+		if err == nil {
+			err = f.Await(sig)
+		}
+		if err == nil || !errors.Is(err, ErrTimeout) || attempt >= g.cfg.MaxRetries {
+			return err
+		}
+		g.retries++
+		if g.cfg.RetryBackoff > 0 {
+			f.Sleep(g.cfg.RetryBackoff * sim.Duration(attempt+1))
+		}
 	}
-	return f.Await(sig)
+}
+
+// Write is the blocking form of WriteAsync. With MaxRetries > 0 a timed-out
+// write is re-issued (fresh sequence number) after linear backoff.
+func (g *Group) Write(f *sim.Fiber, off, size int, durable bool) error {
+	return g.retry(f, func() (*sim.Signal, error) {
+		return g.WriteAsync(off, size, durable)
+	})
 }
 
 // MemcpyAsync copies [src, src+size) to [dst, dst+size) locally on every
@@ -255,13 +277,12 @@ func (g *Group) MemcpyAsync(src, dst, size int, durable bool) (*sim.Signal, erro
 	return op.sig, nil
 }
 
-// Memcpy is the blocking form of MemcpyAsync.
+// Memcpy is the blocking form of MemcpyAsync, with the same retry policy
+// as Write (gMEMCPY is idempotent).
 func (g *Group) Memcpy(f *sim.Fiber, src, dst, size int, durable bool) error {
-	sig, err := g.MemcpyAsync(src, dst, size, durable)
-	if err != nil {
-		return err
-	}
-	return f.Await(sig)
+	return g.retry(f, func() (*sim.Signal, error) {
+		return g.MemcpyAsync(src, dst, size, durable)
+	})
 }
 
 // CAS performs a group compare-and-swap (gCAS) of the 8-byte word at off
@@ -288,13 +309,12 @@ func (g *Group) FlushAsync(off, size int) (*sim.Signal, error) {
 	return op.sig, nil
 }
 
-// Flush is the blocking form of FlushAsync.
+// Flush is the blocking form of FlushAsync, with the same retry policy as
+// Write (gFLUSH is idempotent).
 func (g *Group) Flush(f *sim.Fiber, off, size int) error {
-	sig, err := g.FlushAsync(off, size)
-	if err != nil {
-		return err
-	}
-	return f.Await(sig)
+	return g.retry(f, func() (*sim.Signal, error) {
+		return g.FlushAsync(off, size)
+	})
 }
 
 // ReadHead performs a one-sided RDMA READ of the head replica's mirror
@@ -304,6 +324,9 @@ func (g *Group) Flush(f *sim.Fiber, off, size int) error {
 func (g *Group) ReadHead(f *sim.Fiber, remoteOff, localOff, size int) error {
 	if localOff < 0 || localOff+size > g.cfg.MirrorSize {
 		return fmt.Errorf("%w: read buffer outside mirror", ErrBadArgument)
+	}
+	if g.closed {
+		return ErrClosed
 	}
 	g.nextWRID++
 	wrid := g.nextWRID | 1<<63 // disjoint from op sequence numbers

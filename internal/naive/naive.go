@@ -72,6 +72,14 @@ type Config struct {
 	WakePenaltyProb float64
 	// OpTimeout aborts operations without an ACK (0 disables).
 	OpTimeout sim.Duration
+	// MaxRetries re-issues a blocking operation that failed with
+	// ErrTimeout up to this many extra times (0 disables). The replica
+	// handlers are stateless per message, so a re-issued write survives
+	// a transient replica crash; gCAS is never retried.
+	MaxRetries int
+	// RetryBackoff is the linear backoff between retries: attempt k
+	// sleeps k*RetryBackoff before re-issuing.
+	RetryBackoff sim.Duration
 }
 
 // DefaultConfig returns calibrated costs (DESIGN.md).
@@ -199,6 +207,7 @@ type Group struct {
 
 	opsIssued    int64
 	opsCompleted int64
+	retries      int64
 
 	ackBuf []byte // onAck decode scratch, reused across ACKs
 }

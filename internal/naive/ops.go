@@ -2,6 +2,7 @@ package naive
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 
 	"hyperloop/internal/rdma"
@@ -109,6 +110,10 @@ func (g *Group) ClientNIC() *rdma.NIC { return g.client }
 // Stats reports operations issued and completed.
 func (g *Group) Stats() (issued, completed int64) { return g.opsIssued, g.opsCompleted }
 
+// Retried reports how many timed-out operations were re-issued by the
+// blocking paths.
+func (g *Group) Retried() int64 { return g.retries }
+
 // InFlight returns operations awaiting their ACK.
 func (g *Group) InFlight() int { return len(g.inflight) }
 
@@ -139,13 +144,31 @@ func (g *Group) WriteAsync(off, size int, durable bool) (*sim.Signal, error) {
 	return op.sig, nil
 }
 
-// Write is the blocking form of WriteAsync.
-func (g *Group) Write(f *sim.Fiber, off, size int, durable bool) error {
-	sig, err := g.WriteAsync(off, size, durable)
-	if err != nil {
-		return err
+// retry runs an idempotent async issue function, awaiting its signal and
+// re-issuing on ErrTimeout up to MaxRetries extra attempts with linear
+// backoff. Only the blocking forms of idempotent primitives use it.
+func (g *Group) retry(f *sim.Fiber, issue func() (*sim.Signal, error)) error {
+	for attempt := 0; ; attempt++ {
+		sig, err := issue()
+		if err == nil {
+			err = f.Await(sig)
+		}
+		if err == nil || !errors.Is(err, ErrTimeout) || attempt >= g.cfg.MaxRetries {
+			return err
+		}
+		g.retries++
+		if g.cfg.RetryBackoff > 0 {
+			f.Sleep(g.cfg.RetryBackoff * sim.Duration(attempt+1))
+		}
 	}
-	return f.Await(sig)
+}
+
+// Write is the blocking form of WriteAsync. With MaxRetries > 0 a timed-out
+// write is re-issued (fresh sequence number) after linear backoff.
+func (g *Group) Write(f *sim.Fiber, off, size int, durable bool) error {
+	return g.retry(f, func() (*sim.Signal, error) {
+		return g.WriteAsync(off, size, durable)
+	})
 }
 
 // MemcpyAsync copies src→dst locally on every member.
@@ -159,13 +182,12 @@ func (g *Group) MemcpyAsync(src, dst, size int, durable bool) (*sim.Signal, erro
 	return op.sig, nil
 }
 
-// Memcpy is the blocking form of MemcpyAsync.
+// Memcpy is the blocking form of MemcpyAsync, with the same retry policy
+// as Write.
 func (g *Group) Memcpy(f *sim.Fiber, src, dst, size int, durable bool) error {
-	sig, err := g.MemcpyAsync(src, dst, size, durable)
-	if err != nil {
-		return err
-	}
-	return f.Await(sig)
+	return g.retry(f, func() (*sim.Signal, error) {
+		return g.MemcpyAsync(src, dst, size, durable)
+	})
 }
 
 // CAS performs a group compare-and-swap with an execute map.
@@ -198,13 +220,12 @@ func (g *Group) FlushAsync(off, size int) (*sim.Signal, error) {
 	return op.sig, nil
 }
 
-// Flush is the blocking form of FlushAsync.
+// Flush is the blocking form of FlushAsync, with the same retry policy as
+// Write.
 func (g *Group) Flush(f *sim.Fiber, off, size int) error {
-	sig, err := g.FlushAsync(off, size)
-	if err != nil {
-		return err
-	}
-	return f.Await(sig)
+	return g.retry(f, func() (*sim.Signal, error) {
+		return g.FlushAsync(off, size)
+	})
 }
 
 // ReplicaHandlerCPU sums the CPU time consumed by the replica handler

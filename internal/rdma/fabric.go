@@ -30,6 +30,16 @@ type Config struct {
 	// RNRRetryDelay is the back-off before retrying a SEND that found no
 	// posted receive (receiver-not-ready).
 	RNRRetryDelay sim.Duration
+	// AckTimeout bounds how long an issued remote operation may wait for
+	// its transport ACK/response. When the oldest pending op on a QP
+	// exceeds it, the QP flushes its pending window with error completions
+	// (StatusTimeout for the expired head, StatusFlushed behind it)
+	// instead of hanging the requester forever. The deadline timer is
+	// stopped whenever an ACK arrives in time, and a stopped timer never
+	// executes a kernel event, so in healthy runs the timeout is invisible
+	// to event counts, RNG draws, and event ordering. Zero selects the
+	// calibrated default; negative disables the timeout.
+	AckTimeout sim.Duration
 }
 
 // DefaultConfig returns the calibrated configuration.
@@ -44,6 +54,7 @@ func DefaultConfig() Config {
 		CacheFlushPerLine: 1 * sim.Nanosecond,
 		MemCopyBps:        8 * 8e9, // ~8 GB/s
 		RNRRetryDelay:     10 * sim.Microsecond,
+		AckTimeout:        5 * sim.Millisecond,
 	}
 }
 
@@ -75,6 +86,13 @@ type Fabric struct {
 	// nicFree holds recycled NIC structs awaiting reuse by AddNIC after a
 	// Reset; their MR/QP/CQ map storage survives across trials.
 	nicFree []*NIC
+
+	// Fault-injection state (see fault.go). faultRNG is forked from rng
+	// only when a plan is installed, so plan-free runs draw the exact RNG
+	// sequence they always did. All of it clears on Reset.
+	faultLinks []LinkFault
+	faultRNG   *sim.RNG
+	faultStats FaultStats
 }
 
 // bufClasses covers scratch buffers up to 1<<(bufClasses-1) = 32 MB;
@@ -157,6 +175,11 @@ func (c Config) normalize() Config {
 	if c.RNRRetryDelay <= 0 {
 		c.RNRRetryDelay = DefaultConfig().RNRRetryDelay
 	}
+	if c.AckTimeout == 0 {
+		c.AckTimeout = DefaultConfig().AckTimeout
+	} else if c.AckTimeout < 0 {
+		c.AckTimeout = 0 // explicit opt-out: ops may hang forever
+	}
 	return c
 }
 
@@ -188,6 +211,12 @@ func (f *Fabric) Reset(k *sim.Kernel, cfg Config) {
 	f.cfg = cfg.normalize()
 	f.rng = k.RNG().Fork()
 	f.msgs, f.bytesOnWire, f.cqes = 0, 0, 0
+	// A pooled fabric must not leak one trial's fault plan into the next:
+	// stale link rules would drop fresh traffic and a stale fault RNG
+	// would desynchronize the replayed stream.
+	f.faultLinks = f.faultLinks[:0]
+	f.faultRNG = nil
+	f.faultStats = FaultStats{}
 }
 
 // Kernel returns the driving simulation kernel.

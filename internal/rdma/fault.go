@@ -1,0 +1,108 @@
+package rdma
+
+import "hyperloop/internal/sim"
+
+// NICFault schedules a NIC availability change at a virtual instant:
+// Down=true crashes the host's NIC (outgoing traffic is lost, inbound
+// deliveries are dropped, the WQE engine stalls), Down=false restarts it
+// (surviving send rings are re-kicked in QPN order so the restart is
+// deterministic).
+type NICFault struct {
+	Host string
+	At   sim.Time
+	Down bool
+}
+
+// LinkFault degrades directed wire traffic from one host to another. An
+// empty From or To matches any host, so a single rule can cut a node off
+// from everyone. Probabilistic decisions (DropProb, DupProb) draw from the
+// fault plan's own RNG stream — forked from the fabric RNG at install time
+// — so a faulty run is seed-deterministic and byte-identical whether the
+// experiment executes serially or overlapped, without perturbing the
+// jitter stream that fault-free traffic consumes.
+type LinkFault struct {
+	From string // sending host ("" = any)
+	To   string // receiving host ("" = any)
+
+	// DropProb is the per-message probability the wire loses the message.
+	// Transmit-side costs (serialization, message counters) are still paid.
+	DropProb float64
+	// DupProb is the per-delivered-message probability a second copy
+	// arrives. The receiver's wire-sequence dedup discards the copy, as RC
+	// transport would, so duplicates stress timing without double-applying.
+	DupProb float64
+	// ExtraDelay is added to every surviving message's latency before
+	// jitter is applied.
+	ExtraDelay sim.Duration
+	// [PartitionFrom, PartitionUntil) is a window during which every
+	// message on the link is lost. A zero window means no partition.
+	PartitionFrom  sim.Time
+	PartitionUntil sim.Time
+}
+
+// partitioned reports whether the link is inside its partition window.
+func (lf *LinkFault) partitioned(now sim.Time) bool {
+	return lf.PartitionUntil > lf.PartitionFrom &&
+		now >= lf.PartitionFrom && now < lf.PartitionUntil
+}
+
+// FaultPlan is a deterministic fault-injection schedule for one fabric.
+// Install it once, before traffic flows, with Fabric.InstallFaultPlan;
+// Fabric.Reset clears it, so pooled fabrics never leak faults into the
+// next trial. The first Links rule matching a (from, to) pair wins, so
+// order specific rules before wildcards.
+type FaultPlan struct {
+	NICs  []NICFault
+	Links []LinkFault
+}
+
+// FaultStats counts fault-plan effects since the last Reset. All three are
+// virtual-time deterministic and usable as strict regression counters.
+type FaultStats struct {
+	// Drops counts messages lost for any reason: wire drop, partition
+	// window, a sender that was down, or a receiver that died in flight.
+	Drops int64
+	// Dups counts extra copies injected by DupProb.
+	Dups int64
+	// DupsSuppressed counts duplicate deliveries discarded by the
+	// receiver's wire-sequence dedup.
+	DupsSuppressed int64
+}
+
+// InstallFaultPlan arms the plan on the fabric: NIC crash/restart events
+// are scheduled on the kernel at their virtual instants and link rules are
+// consulted on every subsequent wire message. The plan's RNG is forked
+// from the fabric RNG here, so two runs with the same seed and the same
+// plan replay the same faults; a run with no plan installed draws exactly
+// the RNG sequence it always did.
+func (f *Fabric) InstallFaultPlan(p *FaultPlan) {
+	if p == nil {
+		return
+	}
+	f.faultLinks = append(f.faultLinks[:0], p.Links...)
+	f.faultRNG = f.rng.Fork()
+	for _, nf := range p.NICs {
+		nf := nf
+		f.k.AtFunc(nf.At, func() {
+			if n := f.nics[nf.Host]; n != nil {
+				n.SetDown(nf.Down)
+			}
+		}, nil)
+	}
+}
+
+// linkFault returns the first installed link rule matching the directed
+// (from, to) pair, or nil.
+func (f *Fabric) linkFault(from, to string) *LinkFault {
+	for i := range f.faultLinks {
+		lf := &f.faultLinks[i]
+		if (lf.From == "" || lf.From == from) && (lf.To == "" || lf.To == to) {
+			return lf
+		}
+	}
+	return nil
+}
+
+// FaultStats reports fault-plan effect counts since creation or the last
+// Reset.
+func (f *Fabric) FaultStats() FaultStats { return f.faultStats }

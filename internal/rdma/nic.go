@@ -1,6 +1,7 @@
 package rdma
 
 import (
+	"errors"
 	"fmt"
 
 	"hyperloop/internal/nvm"
@@ -53,6 +54,10 @@ const (
 	StatusRemoteAccessError
 	StatusLocalError
 	StatusFlushed // QP torn down / host down
+	// StatusTimeout reports that the operation's transport ACK did not
+	// arrive within Config.AckTimeout — the peer crashed or the wire lost
+	// the message. The rest of the pending window flushes as StatusFlushed.
+	StatusTimeout
 )
 
 // String returns the status mnemonic.
@@ -66,6 +71,8 @@ func (s Status) String() string {
 		return "LOCAL_ERR"
 	case StatusFlushed:
 		return "FLUSHED"
+	case StatusTimeout:
+		return "TIMEOUT"
 	default:
 		return fmt.Sprintf("Status(%d)", uint8(s))
 	}
@@ -102,6 +109,8 @@ type CQ struct {
 	draining     bool  // drain loop active; nested pushes only append
 
 	waiters []cqWaiter // parked WAIT WQEs, woken at their thresholds
+
+	dead bool // destroyed; see Destroy
 }
 
 // cqWaiter is a parked WAIT WQE: fn re-kicks the owning send queue once
@@ -172,6 +181,9 @@ func (c *CQ) Depth() int { return c.entries.Len() }
 func (c *CQ) Total() int64 { return c.total }
 
 func (c *CQ) push(e CQE) {
+	if c.dead {
+		return
+	}
 	e.At = c.nic.fabric.k.Now()
 	c.total++
 	c.nic.fabric.cqes++
@@ -230,6 +242,58 @@ func (c *CQ) subscribe(fn func(), minTotal int64) {
 	c.waiters = append(c.waiters, cqWaiter{fn: fn, minTotal: minTotal})
 }
 
+// ErrWaitDeadline is returned by AwaitTotal when the deadline passes
+// before the completion-count threshold is reached.
+var ErrWaitDeadline = errors.New("rdma: CQ wait deadline exceeded")
+
+// AwaitTotal parks f until the CQ's cumulative completion count reaches n,
+// or returns ErrWaitDeadline once the virtual deadline passes — a bounded
+// alternative to spinning on Total for callers that would otherwise hang
+// on a completion that never arrives. A deadline wake leaves a stale
+// one-shot waiter behind; it fires harmlessly into the already-resolved
+// signal if the threshold is ever reached later.
+func (c *CQ) AwaitTotal(f *sim.Fiber, n int64, deadline sim.Time) error {
+	if c.total >= n {
+		return nil
+	}
+	sig := sim.NewSignal()
+	c.subscribe(func() { sig.Fire(nil) }, n)
+	t := c.nic.fabric.k.At(deadline, func() { sig.Fire(ErrWaitDeadline) })
+	err := f.Await(sig)
+	t.Stop()
+	return err
+}
+
+// scrub returns the CQ to its zero operating state for reuse by CreateCQ.
+// Counters must clear — a stale total would satisfy a fresh trial's WAIT
+// thresholds instantly — and waiter callbacks must drop for GC.
+func (c *CQ) scrub() {
+	c.entries.Reset()
+	c.total, c.waitConsumed = 0, 0
+	c.handler, c.drainHandler = nil, nil
+	c.batch = c.batch[:0]
+	c.spare = c.spare[:0]
+	c.draining = false
+	for i := range c.waiters {
+		c.waiters[i] = cqWaiter{}
+	}
+	c.waiters = c.waiters[:0]
+}
+
+// Destroy removes the completion queue from service: handlers and parked
+// waiters are dropped, retained entries are cleared, the CQN is retired
+// (WAIT WQEs that still name it complete with a local error), and any
+// straggler completion pushed through a retained pointer is discarded.
+// Owners destroy a CQ together with the QPs that complete into it.
+func (c *CQ) Destroy() {
+	if c.dead {
+		return
+	}
+	c.dead = true
+	c.scrub()
+	delete(c.nic.cqs, c.cqn)
+}
+
 // NIC is one host's RDMA network interface. Its WQE engine runs entirely in
 // simulation events — no cpusim process is involved — which is precisely
 // what makes the HyperLoop datapath immune to host CPU contention.
@@ -248,6 +312,13 @@ type NIC struct {
 
 	wqesExecuted int64
 	bytesTx      int64
+
+	// qpFree/cqFree pool scrubbed QP/CQ structs across Fabric.Reset so a
+	// recycled NIC reuses its queue storage (rings, waiter slices) instead
+	// of reallocating per trial. See QP.scrub / CQ.scrub for the state
+	// that must clear to keep reuse byte-identical to fresh allocation.
+	qpFree []*QP
+	cqFree []*CQ
 }
 
 // Host returns the NIC's host name.
@@ -259,9 +330,31 @@ func (n *NIC) Memory() *nvm.Device { return n.mem }
 // Fabric returns the owning fabric.
 func (n *NIC) Fabric() *Fabric { return n.fabric }
 
-// SetDown simulates host/NIC failure: outgoing operations fail and incoming
-// messages are dropped (peers observe timeouts).
-func (n *NIC) SetDown(down bool) { n.down = down }
+// SetDown simulates host/NIC failure and recovery. While down, outgoing
+// messages are lost at the sender, in-flight deliveries are dropped at
+// arrival, and the WQE engines stall; peers observe ack timeouts (error
+// CQEs), never eternal hangs. Restarting re-kicks every surviving send
+// ring and inbox in QPN order — a fixed order, never map iteration, so a
+// restart schedules the same event sequence on every run.
+func (n *NIC) SetDown(down bool) {
+	if n.down == down {
+		return
+	}
+	n.down = down
+	if down {
+		return
+	}
+	for qpn := uint32(1); qpn <= n.nextQPN; qpn++ {
+		q := n.qps[qpn]
+		if q == nil {
+			continue
+		}
+		q.Doorbell()
+		if q.inbox.Len() > 0 && !q.inboxBusy && !q.rnrWaiting {
+			q.processInbox()
+		}
+	}
+}
 
 // Down reports whether the NIC is failed.
 func (n *NIC) Down() bool { return n.down }
@@ -295,10 +388,21 @@ func (n *NIC) lookupMR(rkey uint32, addr, length uint64, need Access) (*MemoryRe
 	return mr, nil
 }
 
-// CreateCQ allocates a completion queue.
+// CreateCQ allocates a completion queue, reusing a scrubbed struct when
+// recycle has pooled one.
 func (n *NIC) CreateCQ() *CQ {
 	n.nextCQN++
-	cq := &CQ{nic: n, cqn: n.nextCQN}
+	var cq *CQ
+	if l := len(n.cqFree); l > 0 {
+		cq = n.cqFree[l-1]
+		n.cqFree[l-1] = nil
+		n.cqFree = n.cqFree[:l-1]
+	} else {
+		cq = &CQ{}
+	}
+	cq.nic = n
+	cq.cqn = n.nextCQN
+	cq.dead = false
 	n.cqs[cq.CQN()] = cq
 	return cq
 }
@@ -331,15 +435,23 @@ func (n *NIC) CreateQP(cfg QPConfig) (*QP, error) {
 		return nil, fmt.Errorf("rdma %s: QP requires send and recv CQs", n.host)
 	}
 	n.nextQPN++
-	qp := &QP{
-		nic:       n,
-		qpn:       n.nextQPN,
-		ringOff:   cfg.SendRingOff,
-		ringSlots: cfg.SendSlots,
-		sendCQ:    cfg.SendCQ,
-		recvCQ:    cfg.RecvCQ,
+	var qp *QP
+	if l := len(n.qpFree); l > 0 {
+		qp = n.qpFree[l-1]
+		n.qpFree[l-1] = nil
+		n.qpFree = n.qpFree[:l-1]
+	} else {
+		qp = &QP{}
 	}
-	qp.initCallbacks()
+	qp.nic = n
+	qp.qpn = n.nextQPN
+	qp.ringOff = cfg.SendRingOff
+	qp.ringSlots = cfg.SendSlots
+	qp.sendCQ = cfg.SendCQ
+	qp.recvCQ = cfg.RecvCQ
+	if qp.pumpFn == nil {
+		qp.initCallbacks() // cached callbacks survive scrub; build once
+	}
 	n.qps[qp.qpn] = qp
 	return qp, nil
 }
@@ -351,13 +463,30 @@ func (n *NIC) QP(qpn uint32) *QP { return n.qps[qpn] }
 func (n *NIC) Stats() (wqes, bytesTx int64) { return n.wqesExecuted, n.bytesTx }
 
 // recycle strips the NIC for reuse under a new identity: registered
-// regions, queue pairs, and completion queues are dropped (their map
-// storage is retained), counters and id allocators rewind to zero, and
-// the device reference is released. A recycled NIC re-issued by AddNIC is
-// indistinguishable from a freshly allocated one.
+// regions are dropped, queue pairs and completion queues are scrubbed
+// into per-NIC free lists for CreateQP/CreateCQ to reuse, counters and id
+// allocators rewind to zero, and the device reference is released. The
+// scrub is what makes reuse safe: stale per-QP state — above all the
+// lastArrival FIFO clamp, which would pin a fresh trial's first
+// deliveries to a past kernel's timestamps — and stale CQ counters must
+// never survive a reset. Free lists fill in QPN/CQN order (never map
+// iteration) so reuse order is deterministic. A recycled NIC re-issued by
+// AddNIC is indistinguishable from a freshly allocated one.
 func (n *NIC) recycle() {
 	clear(n.mrs)
+	for qpn := uint32(1); qpn <= n.nextQPN; qpn++ {
+		if q := n.qps[qpn]; q != nil {
+			q.scrub()
+			n.qpFree = append(n.qpFree, q)
+		}
+	}
 	clear(n.qps)
+	for cqn := uint32(1); cqn <= n.nextCQN; cqn++ {
+		if c := n.cqs[cqn]; c != nil {
+			c.scrub()
+			n.cqFree = append(n.cqFree, c)
+		}
+	}
 	clear(n.cqs)
 	n.mem = nil
 	n.down = false
@@ -367,17 +496,37 @@ func (n *NIC) recycle() {
 
 // send transmits a message to a peer QP with FIFO ordering per direction.
 // Loopback traffic (same NIC) skips the wire entirely and costs only NIC
-// processing time.
+// processing time. The installed fault plan (if any) is consulted per wire
+// message: partitioned or randomly dropped messages still pay their
+// transmit-side costs but never deliver, and a duplicated message
+// schedules a second delivery carrying the same wire sequence number,
+// which the receiver's dedup discards. Every loss is bounded by the
+// requester's ack timeout (see QP.ackExpire) — nothing hangs on a drop.
 func (n *NIC) send(to *QP, size int, deliver func()) {
 	f := n.fabric
+	if n.down {
+		// A dead NIC transmits nothing; its own pending window flushes via
+		// the ack timeout.
+		f.faultStats.Drops++
+		return
+	}
 	var d sim.Duration
+	dup := false
 	if to.nic == n {
 		d = f.cfg.WQEProc
 	} else {
 		f.msgs++
 		f.bytesOnWire += int64(size + f.cfg.HeaderBytes)
 		n.bytesTx += int64(size)
-		d = f.cfg.PropDelay + f.xmitTime(size)
+		if lf := f.linkFault(n.host, to.nic.host); lf != nil {
+			if lf.partitioned(f.k.Now()) || (lf.DropProb > 0 && f.faultRNG.Bernoulli(lf.DropProb)) {
+				f.faultStats.Drops++
+				return // lost on the wire; transmit costs already paid
+			}
+			d += lf.ExtraDelay
+			dup = lf.DupProb > 0 && f.faultRNG.Bernoulli(lf.DupProb)
+		}
+		d += f.cfg.PropDelay + f.xmitTime(size)
 		d = f.rng.Jitter(d, f.cfg.JitterFrac)
 	}
 	at := f.k.Now().Add(d)
@@ -385,11 +534,37 @@ func (n *NIC) send(to *QP, size int, deliver func()) {
 		at = to.lastArrival // preserve per-QP FIFO despite jitter
 	}
 	to.lastArrival = at
+	psn := to.wireTx
+	to.wireTx++
+	n.deliver(to, at, psn, deliver)
+	if dup {
+		f.faultStats.Dups++
+		n.deliver(to, at, psn, deliver)
+	}
+}
+
+// deliver schedules one delivery attempt of wire message psn at instant
+// at. The receiver-side checks run at delivery time: a receiver that died
+// while the message was in flight loses it (the silent-drop contract is
+// now backed by the sender's ack timeout, so the loss surfaces as an
+// error CQE instead of an eternal hang), and a duplicate of an
+// already-delivered psn is discarded exactly as RC transport dedup would
+// discard a retransmission.
+func (n *NIC) deliver(to *QP, at sim.Time, psn uint64, deliverFn func()) {
+	f := n.fabric
 	targetNIC := to.nic
 	f.k.AtFunc(at, func() {
-		if targetNIC.down {
-			return // dropped; sender times out at a higher layer
+		if targetNIC.down || to.dead {
+			// A destroyed QP loses in-flight messages exactly like a dead
+			// NIC; the sender's ack timeout bounds the loss.
+			f.faultStats.Drops++
+			return
 		}
-		deliver()
+		if psn < to.wireRx {
+			f.faultStats.DupsSuppressed++
+			return
+		}
+		to.wireRx = psn + 1
+		deliverFn()
 	}, nil)
 }

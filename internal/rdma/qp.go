@@ -59,8 +59,16 @@ type inMsg struct {
 }
 
 // pendingOp tracks an issued remote operation awaiting its ACK/response.
+// at is the issue instant; the ack-timeout deadline for the QP is always
+// the oldest pending op's at plus Config.AckTimeout. seq is the op's
+// position in the QP's request stream — replies echo it, so a reply
+// arriving for a later op proves every earlier pending op's request (or
+// ack) was lost and fails them immediately instead of waiting out the
+// timeout (see handleAck).
 type pendingOp struct {
 	wqe      WQE
+	at       sim.Time
+	seq      uint64
 	complete func(st Status, payload []byte)
 }
 
@@ -91,8 +99,24 @@ type QP struct {
 	pumpBusy      bool
 	inboxBusy     bool
 	rnrWaiting    bool
+	dead          bool // destroyed; see Destroy
 
 	lastArrival sim.Time // FIFO clamp for inbound delivery
+
+	// Ack-timeout machinery: ackTimer tracks the transport deadline of the
+	// oldest pending op (armed on issue, stopped/re-armed as ACKs arrive,
+	// so it never fires — and never executes a kernel event — on a healthy
+	// QP). epoch invalidates in-flight replies when the pending window is
+	// flushed: a straggler ACK from before the flush must not complete an
+	// op issued after it. wireTx/wireRx number delivered wire messages per
+	// direction so injected duplicates are suppressed exactly once.
+	ackTimer sim.Timer
+	ackArmed bool
+	ackFn    func()
+	epoch    uint64
+	opTx     uint64
+	wireTx   uint64
+	wireRx   uint64
 
 	// Cached callbacks: the engine schedules these thousands of times per
 	// simulated op, so they are allocated once per QP, with the pending
@@ -123,6 +147,7 @@ func (q *QP) initCallbacks() {
 		q.rnrWaiting = false
 		q.processInbox()
 	}
+	q.ackFn = q.ackExpire
 }
 
 // QPN returns the queue pair number.
@@ -152,6 +177,46 @@ func (q *QP) Connect(peer *QP) {
 // Peer returns the connected remote QP, or nil.
 func (q *QP) Peer() *QP { return q.peer }
 
+// ErrQPDestroyed is returned when posting to a destroyed queue pair.
+var ErrQPDestroyed = fmt.Errorf("rdma: QP destroyed")
+
+// Destroy removes the queue pair from service. A destroyed QP never
+// touches its send ring again — its pump is inert, queued doorbells and
+// parked CQ-waiter wakes become no-ops, posts fail with ErrQPDestroyed —
+// and inbound wire messages addressed to it are dropped at delivery, the
+// same way a down NIC loses them. Pending remote ops are abandoned
+// without completions (the owner is expected to destroy the QP's CQs
+// alongside it), the peer link is severed so the peer's subsequent sends
+// fail locally instead of transmitting into a void, and the QPN is
+// retired. Destroy is what makes re-allocating a QP's ring memory safe:
+// an abandoned-but-live QP parked on a ring that a successor rewrites
+// would otherwise wake, re-read the foreign WQEs, and race the successor
+// for its own completions.
+func (q *QP) Destroy() {
+	if q.dead {
+		return
+	}
+	q.dead = true
+	q.stopAckTimer()
+	q.epoch++ // straggler replies to abandoned pendings are discarded
+	q.pending.Reset()
+	q.recvQueue.Reset()
+	for q.inbox.Len() > 0 {
+		m := q.inbox.PopFront()
+		q.nic.fabric.putBuf(m.payload)
+	}
+	if p := q.peer; p != nil {
+		q.peer = nil
+		if p.peer == q {
+			p.peer = nil
+		}
+	}
+	delete(q.nic.qps, q.qpn)
+}
+
+// Dead reports whether the QP has been destroyed.
+func (q *QP) Dead() bool { return q.dead }
+
 // ErrSendQueueFull is returned when posting would overrun un-executed WQEs.
 var ErrSendQueueFull = fmt.Errorf("rdma: send queue full")
 
@@ -172,6 +237,9 @@ func (q *QP) tailDistance() int { return int(q.tail - q.head) }
 // PostSend writes w at the ring tail with ownership granted and rings the
 // doorbell. This is the conventional verbs path.
 func (q *QP) PostSend(w WQE) (uint64, error) {
+	if q.dead {
+		return 0, ErrQPDestroyed
+	}
 	w.Flags |= FlagOwned
 	seq := q.tail
 	if err := q.writeSlot(seq, w); err != nil {
@@ -186,6 +254,9 @@ func (q *QP) PostSend(w WQE) (uint64, error) {
 // the NIC will stall at this WQE until a WAIT enables it or GrantOwnership
 // is called. This is HyperLoop's modified-driver posting path (§4.1).
 func (q *QP) PostSendDeferred(w WQE) (uint64, error) {
+	if q.dead {
+		return 0, ErrQPDestroyed
+	}
 	w.Flags &^= FlagOwned
 	seq := q.tail
 	if err := q.writeSlot(seq, w); err != nil {
@@ -199,6 +270,9 @@ func (q *QP) PostSendDeferred(w WQE) (uint64, error) {
 // the local (client-side) path for arming a previously deferred WQE after
 // patching its descriptor.
 func (q *QP) GrantOwnership(seq uint64) error {
+	if q.dead {
+		return ErrQPDestroyed
+	}
 	if err := q.setOwned(seq, true); err != nil {
 		return err
 	}
@@ -238,6 +312,9 @@ func (q *QP) PatchDescriptor(seq uint64, w WQE) error {
 // synchronously inside the caller, which could otherwise observe its own
 // half-finished setup (e.g. a receive posted before its WQE chains).
 func (q *QP) PostRecv(r RecvWQE) {
+	if q.dead {
+		return
+	}
 	q.recvQueue.PushBack(r)
 	if q.rnrWaiting {
 		q.rnrWaiting = false
@@ -250,7 +327,7 @@ func (q *QP) RecvDepth() int { return q.recvQueue.Len() }
 
 // Doorbell kicks the send engine.
 func (q *QP) Doorbell() {
-	if q.pumpScheduled || q.pumpBusy {
+	if q.dead || q.pumpScheduled || q.pumpBusy {
 		return
 	}
 	q.pumpScheduled = true
@@ -261,7 +338,7 @@ func (q *QP) Doorbell() {
 // unsatisfied WAIT) or goes busy on an occupancy delay.
 func (q *QP) pump() {
 	q.pumpScheduled = false
-	if q.pumpBusy || q.nic.down {
+	if q.dead || q.pumpBusy || q.nic.down {
 		return
 	}
 	slotAddr := int(SlotAddr(q.ringOff, q.ringSlots, q.head))
@@ -434,8 +511,12 @@ func (q *QP) execute(w WQE) {
 // post-processes the response payload at the requester.
 func (q *QP) issueRemote(w WQE, msg inMsg, wireBytes int, onReply func([]byte) Status) {
 	peer := q.peer
+	seq := q.opTx
+	q.opTx++
 	q.pending.PushBack(pendingOp{
 		wqe: w,
+		at:  q.nic.fabric.k.Now(),
+		seq: seq,
 		complete: func(st Status, payload []byte) {
 			if st == StatusSuccess && onReply != nil {
 				st = onReply(payload)
@@ -443,10 +524,14 @@ func (q *QP) issueRemote(w WQE, msg inMsg, wireBytes int, onReply func([]byte) S
 			q.pushSendCompletion(w, st, len(payload))
 		},
 	})
+	if !q.ackArmed {
+		q.armAckTimer()
+	}
+	ep := q.epoch
 	msg.reply = func(st Status, payload []byte) {
 		// Responses travel the reverse direction with the same FIFO clamp.
 		peer.nic.send(q, len(payload), func() {
-			q.handleAck(st, payload)
+			q.handleAck(ep, seq, st, payload)
 		})
 	}
 	q.nic.send(peer, wireBytes, func() {
@@ -455,15 +540,96 @@ func (q *QP) issueRemote(w WQE, msg inMsg, wireBytes int, onReply func([]byte) S
 	q.advance(w, q.nic.fabric.cfg.WQEProc+q.nic.fabric.xmitTime(wireBytes))
 }
 
-func (q *QP) handleAck(st Status, payload []byte) {
+// armAckTimer (re)schedules the transport deadline for the oldest pending
+// op. A timer that is stopped before firing never executes a kernel event
+// and consumes no RNG, so on a healthy QP the ack timeout is invisible to
+// event counts and ordering.
+func (q *QP) armAckTimer() {
+	d := q.nic.fabric.cfg.AckTimeout
+	if d <= 0 || q.pending.Len() == 0 {
+		return
+	}
+	q.ackArmed = true
+	q.nic.fabric.k.AtFunc(q.pending.Front().at.Add(d), q.ackFn, &q.ackTimer)
+}
+
+func (q *QP) stopAckTimer() {
+	if q.ackArmed {
+		q.ackTimer.Stop()
+		q.ackArmed = false
+	}
+}
+
+// ackExpire fires when the oldest pending op outlived AckTimeout without
+// a response: the peer crashed or the wire lost the request or its ACK.
+func (q *QP) ackExpire() {
+	q.ackArmed = false
+	q.flushPending(StatusTimeout)
+}
+
+// flushPending fails every un-acked remote op — the expired head with
+// first (StatusTimeout on an ack deadline), the rest with StatusFlushed,
+// mirroring how a real RC QP enters the error state and flushes its send
+// queue. Error completions are pushed even for unsignaled WQEs, so no
+// requester fiber is left waiting. The epoch advances so straggler
+// replies to the flushed ops are discarded on arrival. The QP itself
+// stays usable (the simulation models transparent QP recovery): new ops
+// issue normally and start a fresh pending window.
+func (q *QP) flushPending(first Status) {
+	q.stopAckTimer()
 	if q.pending.Len() == 0 {
-		return // response after QP reset; drop
+		return
+	}
+	q.epoch++
+	st := first
+	for q.pending.Len() > 0 {
+		op := q.pending.PopFront()
+		op.complete(st, nil)
+		st = StatusFlushed
+	}
+}
+
+func (q *QP) handleAck(ep uint64, seq uint64, st Status, payload []byte) {
+	if q.dead {
+		return
+	}
+	if ep != q.epoch || q.pending.Len() == 0 {
+		// Straggler response: the pending window was flushed (ack timeout)
+		// after this reply was sent, or the QP was reset. Drop it, but
+		// still recycle the scratch buffer it carried.
+		q.nic.fabric.putBuf(payload)
+		return
+	}
+	// A sequence gap proves every pending op older than this reply lost
+	// its request (or its ack) on the wire: without the check, the reply
+	// would pop the wrong pendingOp and report a vanished write as OK.
+	// Fail the gapped ops now — faster and more precise than waiting out
+	// their full timeout.
+	for q.pending.Len() > 0 && q.pending.Front().seq < seq {
+		op := q.pending.PopFront()
+		op.complete(StatusTimeout, nil)
+	}
+	if q.pending.Len() == 0 || q.pending.Front().seq != seq {
+		// The op this reply answers was already resolved; drop it.
+		q.nic.fabric.putBuf(payload)
+		q.rearmOrStopAckTimer()
+		return
 	}
 	op := q.pending.PopFront()
 	op.complete(st, payload)
 	// Response payloads (READ/CAS results) are consumed inside complete;
 	// recycle the scratch buffer.
 	q.nic.fabric.putBuf(payload)
+	q.rearmOrStopAckTimer()
+}
+
+// rearmOrStopAckTimer retracks the deadline after the pending front moved.
+func (q *QP) rearmOrStopAckTimer() {
+	if q.pending.Len() == 0 {
+		q.stopAckTimer()
+	} else {
+		q.armAckTimer()
+	}
 }
 
 // completeLocal pushes a send completion immediately (local-only ops).
@@ -515,7 +681,8 @@ func (q *QP) enqueueInbox(m inMsg) {
 // cost per message. A SEND/WRITE_WITH_IMM with no posted receive blocks the
 // queue (RNR) and retries.
 func (q *QP) processInbox() {
-	if q.inboxBusy || q.inbox.Len() == 0 {
+	if q.inboxBusy || q.inbox.Len() == 0 || q.nic.down {
+		// A down NIC leaves its inbox queued; SetDown(false) re-kicks it.
 		return
 	}
 	m := q.inbox.Front()
@@ -667,6 +834,35 @@ func (q *QP) applyInbound(m inMsg) (Status, []byte, sim.Duration) {
 
 func (q *QP) popRecv() RecvWQE {
 	return q.recvQueue.PopFront()
+}
+
+// scrub returns the QP to its zero operating state for reuse by CreateQP
+// after a Fabric.Reset. Everything timing-visible must clear: a stale
+// lastArrival would clamp a fresh trial's first deliveries to a past
+// kernel's timestamps, stale wire sequence numbers would make the dedup
+// discard fresh traffic, and stale ring cursors would misplace WQEs. The
+// cached callbacks survive — they close over the struct, not its state.
+// Queued inbox payloads are returned to the buffer pool so a trial cut
+// short by StopRun does not leak scratch buffers.
+func (q *QP) scrub() {
+	q.peer = nil
+	q.head, q.tail = 0, 0
+	q.recvQueue.Reset()
+	for q.inbox.Len() > 0 {
+		m := q.inbox.PopFront()
+		q.nic.fabric.putBuf(m.payload)
+	}
+	q.pending.Reset()
+	q.pumpScheduled, q.pumpBusy, q.inboxBusy, q.rnrWaiting = false, false, false, false
+	q.dead = false
+	q.lastArrival = 0
+	q.ackTimer = sim.Timer{} // old kernel's handle; never Stop it here
+	q.ackArmed = false
+	q.epoch = 0
+	q.opTx = 0
+	q.wireTx, q.wireRx = 0, 0
+	q.inReply, q.inResp = nil, nil
+	q.inSt = 0
 }
 
 // DebugState summarizes the QP's engine state for diagnostics.

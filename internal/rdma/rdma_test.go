@@ -553,6 +553,8 @@ func TestFIFOOrderingWriteThenSend(t *testing.T) {
 func TestDownNICDropsTraffic(t *testing.T) {
 	p := newTestPair(t)
 	p.nb.SetDown(true)
+	var got []CQE
+	p.qa.SendCQ().SetDrainHandler(func(es []CQE) { got = append(got, es...) })
 	_ = p.na.Memory().Write(bufA, []byte{1})
 	if _, err := p.qa.PostSend(WQE{
 		Opcode: OpWrite, Flags: FlagSignaled, Local: bufA, Len: 1, Remote: bufB, Aux1: p.mrb.RKey,
@@ -560,8 +562,16 @@ func TestDownNICDropsTraffic(t *testing.T) {
 		t.Fatal(err)
 	}
 	p.run(t)
-	if p.qa.SendCQ().Total() != 0 {
-		t.Fatal("completion arrived from a down NIC")
+	// The message is lost, but the sender is not hung: the ack timeout
+	// surfaces exactly one error completion.
+	if len(got) != 1 {
+		t.Fatalf("want 1 completion, got %d", len(got))
+	}
+	if got[0].Status != StatusTimeout {
+		t.Fatalf("want TIMEOUT completion, got %v", got[0].Status)
+	}
+	if deadline := sim.Time(0).Add(p.fab.Config().AckTimeout); got[0].At < deadline {
+		t.Fatalf("completion at %v, before the ack deadline %v", got[0].At, deadline)
 	}
 	if !p.nb.Down() {
 		t.Fatal("down flag lost")
