@@ -2,9 +2,10 @@
 # Tier-1 verification: formatting, vet, static analysis, the full suite,
 # the race detector over the two-level scheduler and the simulation/RDMA
 # hot paths, coverage floors on the pooling-critical packages, short fuzz
-# runs over the WQE decoder and device reset, a serial-vs-overlapped
-# determinism golden across a seed matrix, and the bench regression gate
-# against the committed BENCH_baseline.json.
+# runs over the WQE decoder and device reset, a determinism golden across
+# a seed matrix (serial vs overlapped vs fast-path-off), and the bench
+# regression gate — strict virtual-time fields plus an events_per_sec
+# tolerance band — against the committed BENCH_baseline.json.
 #
 #   ./ci.sh                    run the full pipeline
 #   ./ci.sh -update-baseline   regenerate BENCH_baseline.json (serial,
@@ -97,21 +98,27 @@ fi
 
 # Determinism golden across a seed matrix: the bench output is virtual-time
 # numbers, so it must be byte-identical serial (-procs 1) vs fully
-# overlapped (-procs 0) once the wall-time-only lines ("regenerated in")
-# are stripped.
+# overlapped (-procs 0) vs the fiber fast path forced off (-fastpath off)
+# once the wall-time-only lines ("regenerated in") are stripped.
 for seed in 1 2 42; do
     "$tmp/bench" -exp all -scale quick -seed "$seed" -procs 1 |
         grep -v 'regenerated in' > "$tmp/serial.norm"
     "$tmp/bench" -exp all -scale quick -seed "$seed" -procs 0 |
         grep -v 'regenerated in' > "$tmp/overlap.norm"
     diff -u "$tmp/serial.norm" "$tmp/overlap.norm"
+    "$tmp/bench" -exp all -scale quick -seed "$seed" -procs 0 -fastpath off |
+        grep -v 'regenerated in' > "$tmp/fastoff.norm"
+    diff -u "$tmp/serial.norm" "$tmp/fastoff.norm"
 done
 
 # Bench regression gate: an overlapped quick run must match the committed
 # serial baseline on every strict (virtual-time) field — report text,
-# sim_events, cqes, messages, wire_bytes, demand-side pool counters.
-# Wall-clock numbers and pool reuse splits are advisory. On an intentional
-# behaviour change, run `./ci.sh -update-baseline` and commit the result.
+# sim_events, cqes, messages, wire_bytes, demand-side pool counters — and
+# may not regress the aggregate simulator rate (events_per_sec) more than
+# benchdiff's tolerance band. Wall-clock numbers, the fast/slow dispatch
+# split and pool reuse splits are advisory; the per-experiment wall/events
+# CSV lands in the artifacts dir. On an intentional behaviour change, run
+# `./ci.sh -update-baseline` and commit the result.
 "$tmp/bench" -exp all -scale quick -seed 1 -procs 0 -json "$artifacts/bench-quick.json" \
     > "$artifacts/bench-quick.txt"
-"$tmp/benchdiff" BENCH_baseline.json "$artifacts/bench-quick.json"
+"$tmp/benchdiff" -csv "$artifacts/bench-quick.csv" BENCH_baseline.json "$artifacts/bench-quick.json"

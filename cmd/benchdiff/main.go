@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	benchdiff BENCH_baseline.json current.json
+//	benchdiff [-eps-tolerance 0.10] [-csv out.csv] BENCH_baseline.json current.json
 //
 // Strict fields — the simulation's virtual-time behaviour — must match
 // exactly: seed, scale, the experiment id sequence, each experiment's
@@ -15,13 +15,25 @@
 // experiment and exits 1. If the change is intentional, regenerate the
 // baseline (see ci.sh -update-baseline).
 //
-// Advisory fields — wall-clock timings and the pools' fresh/reused
-// splits — depend on host speed and goroutine scheduling. benchdiff
-// prints their deltas for the log and never fails on them.
+// Throughput gate: the aggregate simulator rate (total sim_events over
+// total wall time) may not regress more than -eps-tolerance (default 10%)
+// below the baseline's. Wall clock is host-dependent, so the band is
+// deliberately wide — the gate exists to catch order-of-magnitude
+// slowdowns in the event loop, not scheduling jitter. Set the tolerance
+// to 0 or less to disable the gate (e.g. when comparing reports from
+// different machines).
+//
+// Advisory fields — per-experiment wall-clock timings, the fast/slow
+// dispatch split, and the pools' fresh/reused splits — depend on host
+// speed, goroutine scheduling, or the -fastpath setting. benchdiff prints
+// their deltas for the log and never fails on them. -csv additionally
+// writes the current report's per-experiment wall/event figures as CSV
+// for CI artifact upload.
 package main
 
 import (
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"strings"
@@ -40,6 +52,9 @@ type expStats struct {
 	Messages     int64   `json:"messages"`
 	WireBytes    int64   `json:"wire_bytes"`
 	EventsPerSec float64 `json:"events_per_sec"`
+
+	FastDispatches int64 `json:"fast_dispatches"`
+	SlowDispatches int64 `json:"slow_dispatches"`
 
 	DeviceGets        int64 `json:"device_gets"`
 	DevicePuts        int64 `json:"device_puts"`
@@ -95,17 +110,56 @@ func firstLineDiff(a, b string) (int, string, string) {
 	return 0, "", ""
 }
 
+// aggregateEPS returns a report's whole-run simulator rate: total executed
+// events over total wall time. The per-experiment events_per_sec figures
+// are too noisy to gate on individually (short experiments finish in a few
+// ms); the aggregate amortizes scheduling jitter over the full run.
+func aggregateEPS(r *benchReport) float64 {
+	if r.TotalWallMS <= 0 {
+		return 0
+	}
+	var ev int64
+	for _, e := range r.Experiments {
+		ev += e.SimEvents
+	}
+	return float64(ev) / (r.TotalWallMS / 1000)
+}
+
+// writeCSV dumps the current report's per-experiment wall/event figures.
+func writeCSV(path string, r *benchReport) error {
+	var sb strings.Builder
+	sb.WriteString("id,wall_ms,sim_events,events_per_sec,fast_dispatches,slow_dispatches\n")
+	for _, e := range r.Experiments {
+		fmt.Fprintf(&sb, "%s,%.3f,%d,%.0f,%d,%d\n",
+			e.ID, e.WallMS, e.SimEvents, e.EventsPerSec, e.FastDispatches, e.SlowDispatches)
+	}
+	fmt.Fprintf(&sb, "total,%.3f,,%.0f,,\n", r.TotalWallMS, aggregateEPS(r))
+	return os.WriteFile(path, []byte(sb.String()), 0o644)
+}
+
 func run(args []string) error {
-	if len(args) != 2 {
-		return fmt.Errorf("usage: benchdiff <baseline.json> <current.json>")
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	epsTol := fs.Float64("eps-tolerance", 0.10, "max allowed fractional regression of aggregate events_per_sec vs baseline (<=0 disables the gate)")
+	csvPath := fs.String("csv", "", "write the current report's per-experiment wall/events CSV to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
 	}
-	base, err := load(args[0])
+	if fs.NArg() != 2 {
+		return fmt.Errorf("usage: benchdiff [-eps-tolerance frac] [-csv out.csv] <baseline.json> <current.json>")
+	}
+	base, err := load(fs.Arg(0))
 	if err != nil {
 		return err
 	}
-	cur, err := load(args[1])
+	cur, err := load(fs.Arg(1))
 	if err != nil {
 		return err
+	}
+	args = []string{fs.Arg(0), fs.Arg(1)}
+	if *csvPath != "" {
+		if err := writeCSV(*csvPath, cur); err != nil {
+			return err
+		}
 	}
 
 	var bad []string
@@ -150,6 +204,18 @@ func run(args []string) error {
 		}
 	}
 
+	// Throughput gate: aggregate events/sec with a tolerance band.
+	baseEPS, curEPS := aggregateEPS(base), aggregateEPS(cur)
+	if baseEPS > 0 && curEPS > 0 {
+		delta := curEPS/baseEPS - 1
+		fmt.Printf("throughput: aggregate events_per_sec %.0f -> %.0f (%+.1f%%)\n",
+			baseEPS, curEPS, delta*100)
+		if *epsTol > 0 && delta < -*epsTol {
+			strict(false, "aggregate events_per_sec regressed %.1f%% (limit %.0f%%): baseline %.0f, current %.0f",
+				-delta*100, *epsTol*100, baseEPS, curEPS)
+		}
+	}
+
 	// Advisory: host-dependent numbers, printed for the log only.
 	fmt.Printf("advisory: total wall %.1fms -> %.1fms (procs %d -> %d, gomaxprocs %d -> %d)\n",
 		base.TotalWallMS, cur.TotalWallMS, base.Procs, cur.Procs, base.GoMaxProcs, cur.GoMaxProcs)
@@ -159,8 +225,9 @@ func run(args []string) error {
 			if b.ID != c.ID {
 				continue
 			}
-			fmt.Printf("advisory: %-15s wall %8.1fms -> %8.1fms  reuse dev %d/%d -> %d/%d  kern %d/%d -> %d/%d  fab %d/%d -> %d/%d\n",
+			fmt.Printf("advisory: %-15s wall %8.1fms -> %8.1fms  fast/slow %d/%d -> %d/%d  reuse dev %d/%d -> %d/%d  kern %d/%d -> %d/%d  fab %d/%d -> %d/%d\n",
 				b.ID, b.WallMS, c.WallMS,
+				b.FastDispatches, b.SlowDispatches, c.FastDispatches, c.SlowDispatches,
 				b.DeviceReused, b.DeviceGets, c.DeviceReused, c.DeviceGets,
 				b.KernelReused, b.KernelGets, c.KernelReused, c.KernelGets,
 				b.FabricReused, b.FabricBuilds, c.FabricReused, c.FabricBuilds)

@@ -14,10 +14,30 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"hyperloop/internal/experiments"
+	"hyperloop/internal/sim"
 )
+
+// loadCostHints reads a previous -json report and returns each
+// experiment's wall_ms as a scheduling cost hint.
+func loadCostHints(path string) (map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep benchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, err
+	}
+	hints := make(map[string]float64, len(rep.Experiments))
+	for _, e := range rep.Experiments {
+		hints[e.ID] = e.WallMS
+	}
+	return hints, nil
+}
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -46,6 +66,12 @@ type expStats struct {
 	Messages     int64   `json:"messages"`
 	WireBytes    int64   `json:"wire_bytes"`
 	EventsPerSec float64 `json:"events_per_sec"`
+
+	// Fiber control-transfer split: inline fast-path starts vs classic
+	// goroutine rendezvous. Advisory in diffs — -fastpath=off moves the
+	// whole split to slow.
+	FastDispatches int64 `json:"fast_dispatches"`
+	SlowDispatches int64 `json:"slow_dispatches"`
 
 	DeviceGets        int64 `json:"device_gets"`
 	DevicePuts        int64 `json:"device_puts"`
@@ -79,6 +105,9 @@ func run(args []string) error {
 		list  = fs.Bool("list", false, "list experiments and exit")
 		procs = fs.Int("procs", 0, "concurrent trials across all experiments (0 = GOMAXPROCS); results are identical at any setting")
 		jsonP = fs.String("json", "", "write machine-readable perf stats to this file ('-' = stdout)")
+		prof  = fs.String("cpuprofile", "", "write a pprof CPU profile of the experiment runs to this file")
+		fast  = fs.String("fastpath", "on", "direct-dispatch fiber fast path: on | off (results are identical either way)")
+		costs = fs.String("costs", "BENCH_baseline.json", "JSON report whose wall_ms seeds the critical-path-first schedule ('' = none; a missing file is ignored)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -101,8 +130,23 @@ func run(args []string) error {
 	if *procs < 0 {
 		return fmt.Errorf("-procs must be >= 0, got %d", *procs)
 	}
+	switch *fast {
+	case "on":
+		sim.SetFastPath(true)
+	case "off":
+		sim.SetFastPath(false)
+	default:
+		return fmt.Errorf("-fastpath must be on or off, got %q", *fast)
+	}
 	prev := experiments.SetParallelism(*procs)
 	defer experiments.SetParallelism(prev)
+	if *costs != "" {
+		if hints, err := loadCostHints(*costs); err == nil {
+			defer experiments.SetCostHints(experiments.SetCostHints(hints))
+		} else if !os.IsNotExist(err) {
+			return fmt.Errorf("-costs %s: %w", *costs, err)
+		}
+	}
 
 	ids := []string{*exp}
 	if *exp == "all" {
@@ -111,6 +155,17 @@ func run(args []string) error {
 	bench := benchReport{
 		Seed: *seed, Scale: *scale,
 		Procs: experiments.Parallelism(), GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	if *prof != "" {
+		pf, err := os.Create(*prof)
+		if err != nil {
+			return err
+		}
+		defer pf.Close()
+		if err := pprof.StartCPUProfile(pf); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
 	}
 	total := time.Now()
 	results, err := experiments.RunAll(ids, *seed, sc)
@@ -129,6 +184,9 @@ func run(args []string) error {
 			Messages:     s.Messages,
 			WireBytes:    s.WireBytes,
 			EventsPerSec: float64(s.SimEvents) / r.Wall.Seconds(),
+
+			FastDispatches: s.FastDispatches,
+			SlowDispatches: s.SlowDispatches,
 
 			DeviceGets:        s.DeviceGets,
 			DevicePuts:        s.DevicePuts,

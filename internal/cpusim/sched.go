@@ -11,9 +11,10 @@
 package cpusim
 
 import (
-	"container/heap"
 	"fmt"
+	"math/bits"
 
+	"hyperloop/internal/ring"
 	"hyperloop/internal/sim"
 )
 
@@ -65,10 +66,18 @@ type Proc struct {
 
 	vruntime  sim.Duration
 	queue     []workItem
+	qhead     int          // index of the oldest unconsumed work item
+	qsum      sim.Duration // cached sum of unconsumed work
 	running   bool
 	pinned    bool
 	busyUntil sim.Time            // pinned pollers serialize their dedicated core
 	refill    func() sim.Duration // auto work for hogs/pollers; nil otherwise
+
+	// Pinned-path completion FIFO: submissions on a dedicated core finish
+	// strictly in submission order (busyUntil is monotone), so one cached
+	// fire callback popping this ring replaces a closure per Submit.
+	pinq      ring.Ring[workItem]
+	pinFireFn func()
 
 	wakePenalty     sim.Duration
 	wakePenaltyProb float64
@@ -105,35 +114,97 @@ func (p *Proc) MeanWait() sim.Duration {
 	return p.waitTime / sim.Duration(p.waits)
 }
 
-type procHeap []*Proc
+// runqEnt is one run-queue entry: the (vruntime, seq) ordering key packed
+// into two words (sign-flipped high word so unsigned comparison matches
+// signed vruntime order) with the process pointer alongside. The key is
+// snapshotted at push; vruntime only changes while a process is off the
+// queue, so the snapshot never goes stale.
+type runqEnt struct {
+	hi, lo uint64
+	p      *Proc
+}
 
-func (h procHeap) Len() int { return len(h) }
-func (h procHeap) Less(i, j int) bool {
-	if h[i].vruntime != h[j].vruntime {
-		return h[i].vruntime < h[j].vruntime
+// vkLess compares packed run-queue keys as one 128-bit unsigned value —
+// a single borrow chain instead of a two-field branch, mirroring the sim
+// event heap. (vruntime, seq) is a strict total order, so any correct heap
+// pops the same sequence: replacing container/heap changes no results.
+func vkLess(ahi, alo, bhi, blo uint64) bool {
+	_, borrow := bits.Sub64(alo, blo, 0)
+	_, borrow = bits.Sub64(ahi, bhi, borrow)
+	return borrow != 0
+}
+
+// procHeap is a concrete 4-ary min-heap over runqEnt — no interface
+// boxing, hole-based sifts, and the four children of a node share a cache
+// line. container/heap's Less/Swap/Push/Pop virtual calls were among the
+// hottest frames in the dispatch path.
+type procHeap []runqEnt
+
+func (h procHeap) siftUp(i int) {
+	e := h[i]
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !vkLess(e.hi, e.lo, h[p].hi, h[p].lo) {
+			break
+		}
+		h[i] = h[p]
+		h[i].p.index = i
+		i = p
 	}
-	return h[i].seq < h[j].seq
+	h[i] = e
+	e.p.index = i
 }
-func (h procHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *procHeap) Push(x any) {
-	p, ok := x.(*Proc)
-	if !ok {
-		return
+
+func (h procHeap) siftDown(i int) {
+	n := len(h)
+	e := h[i]
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		m := c
+		mhi, mlo := h[c].hi, h[c].lo
+		hi4 := c + 4
+		if hi4 > n {
+			hi4 = n
+		}
+		for j := c + 1; j < hi4; j++ {
+			if vkLess(h[j].hi, h[j].lo, mhi, mlo) {
+				m, mhi, mlo = j, h[j].hi, h[j].lo
+			}
+		}
+		if !vkLess(mhi, mlo, e.hi, e.lo) {
+			break
+		}
+		h[i] = h[m]
+		h[i].p.index = i
+		i = m
 	}
-	p.index = len(*h)
-	*h = append(*h, p)
+	h[i] = e
+	e.p.index = i
 }
-func (h *procHeap) Pop() any {
-	old := *h
-	n := len(old)
-	p := old[n-1]
-	old[n-1] = nil
+
+func (s *Scheduler) runqPush(p *Proc) {
+	p.index = len(s.runq)
+	s.runq = append(s.runq, runqEnt{hi: uint64(p.vruntime) ^ (1 << 63), lo: p.seq, p: p})
+	s.runq.siftUp(len(s.runq) - 1)
+}
+
+func (s *Scheduler) runqPop() *Proc {
+	h := s.runq
+	p := h[0].p
+	n := len(h) - 1
+	if n > 0 {
+		h[0] = h[n]
+		h[0].p.index = 0
+	}
+	h[n] = runqEnt{}
+	s.runq = h[:n]
+	if n > 1 {
+		s.runq.siftDown(0)
+	}
 	p.index = -1
-	*h = old[:n-1]
 	return p
 }
 
@@ -162,7 +233,8 @@ type Scheduler struct {
 	started      sim.Time
 	pinnedCores  int
 	dispatchPend bool
-	dispatchFn   func() // cached dispatch callback
+	dispatchFn   func()   // cached dispatch callback
+	done         []func() // finishSlice's reusable callback scratch
 }
 
 // New creates a scheduler driven by kernel k.
@@ -244,15 +316,12 @@ func (p *Proc) Submit(cpu sim.Duration, fn func()) {
 		}
 		done := start.Add(cpu)
 		p.busyUntil = done
-		p.s.k.At(done, func() {
-			p.totalCPU += cpu
-			if fn != nil {
-				fn()
-			}
-		})
+		p.pinq.PushBack(workItem{cpu: cpu, fn: fn})
+		p.s.k.AtFunc(done, p.pinFireFn, nil)
 		return
 	}
 	p.queue = append(p.queue, workItem{cpu: cpu, fn: fn})
+	p.qsum += cpu
 	p.s.wake(p)
 }
 
@@ -268,21 +337,29 @@ func (p *Proc) SetRefill(chunk func() sim.Duration) {
 func (p *Proc) Pin() {
 	p.pinned = true
 	p.s.pinnedCores++
+	if p.pinFireFn == nil {
+		p.pinFireFn = func() {
+			w := p.pinq.PopFront()
+			p.totalCPU += w.cpu
+			if w.fn != nil {
+				w.fn()
+			}
+		}
+	}
 }
 
 // Pinned reports whether the process busy-polls on a dedicated core.
 func (p *Proc) Pinned() bool { return p.pinned }
 
-// pendingCPU returns queued CPU work, pulling from refill if empty.
+// pendingCPU returns queued CPU work (a cached running sum), pulling from
+// refill if empty.
 func (p *Proc) pendingCPU() sim.Duration {
-	if len(p.queue) == 0 && p.refill != nil {
-		p.queue = append(p.queue, workItem{cpu: p.refill()})
+	if p.qhead == len(p.queue) && p.refill != nil {
+		chunk := p.refill()
+		p.queue = append(p.queue, workItem{cpu: chunk})
+		p.qsum += chunk
 	}
-	var d sim.Duration
-	for _, w := range p.queue {
-		d += w.cpu
-	}
-	return d
+	return p.qsum
 }
 
 // wake makes p runnable with CFS-style placement: a sleeper resumes near
@@ -306,7 +383,7 @@ func (s *Scheduler) wake(p *Proc) {
 	p.vruntime = min
 	p.wokeAt = s.k.Now()
 	s.wakes++
-	heap.Push(&s.runq, p)
+	s.runqPush(p)
 	s.scheduleDispatch()
 }
 
@@ -341,11 +418,7 @@ func (s *Scheduler) dispatch() {
 		if c.cur != nil || len(s.runq) == 0 {
 			continue
 		}
-		p, ok := heap.Pop(&s.runq).(*Proc)
-		if !ok {
-			continue
-		}
-		s.startOn(c, p)
+		s.startOn(c, s.runqPop())
 	}
 }
 
@@ -386,31 +459,43 @@ func (s *Scheduler) finishSlice(c *core) {
 	}
 
 	// Consume work items covered by this slice; collect their callbacks.
-	var done []func()
+	// The queue pops by advancing a head index (O(1) per item, no shift)
+	// and the callback list reuses a per-scheduler scratch slice.
+	done := s.done[:0]
+	s.done = nil // taken; a re-entrant finishSlice allocates its own
 	left := ran
-	for len(p.queue) > 0 && left > 0 {
-		w := &p.queue[0]
+	for p.qhead < len(p.queue) && left > 0 {
+		w := &p.queue[p.qhead]
 		if w.cpu <= left {
 			left -= w.cpu
+			p.qsum -= w.cpu
 			if w.fn != nil {
 				done = append(done, w.fn)
 			}
-			p.queue = append(p.queue[:0], p.queue[1:]...)
+			*w = workItem{}
+			p.qhead++
 		} else {
 			w.cpu -= left
+			p.qsum -= left
 			left = 0
 		}
+	}
+	if p.qhead == len(p.queue) {
+		p.queue = p.queue[:0]
+		p.qhead = 0
 	}
 
 	// Re-enqueue before callbacks so submissions from callbacks see a
 	// consistent state.
 	if p.pendingCPU() > 0 {
 		p.wokeAt = s.k.Now()
-		heap.Push(&s.runq, p)
+		s.runqPush(p)
 	}
-	for _, fn := range done {
+	for i, fn := range done {
 		fn()
+		done[i] = nil
 	}
+	s.done = done[:0]
 	s.scheduleDispatch()
 }
 
@@ -433,15 +518,19 @@ func (s *Scheduler) AddHogs(n int) {
 func (s *Scheduler) AddNoise(n int, burst, idle sim.Duration) {
 	for i := 0; i < n; i++ {
 		p := s.NewProc(fmt.Sprintf("noise-%d", i))
-		var loop func()
+		// loop and rest are allocated once per process and reused for every
+		// burst — the previous per-burst completion closure was one of the
+		// hottest allocation sites in the whole simulator.
+		var loop, rest func()
 		loop = func() {
 			b := sim.Duration(s.rng.Exp(float64(burst)))
-			p.Submit(b, func() {
-				s.k.After(sim.Duration(s.rng.Exp(float64(idle))), loop)
-			})
+			p.Submit(b, rest)
+		}
+		rest = func() {
+			s.k.AfterFunc(sim.Duration(s.rng.Exp(float64(idle))), loop, nil)
 		}
 		// Stagger starts to avoid synchronized bursts.
-		s.k.After(s.rng.DurationRange(0, idle+1), loop)
+		s.k.AfterFunc(s.rng.DurationRange(0, idle+1), loop, nil)
 	}
 }
 
@@ -460,7 +549,7 @@ func (s *Scheduler) AddStorms(n int, interval, burst sim.Duration) {
 		for _, p := range procs {
 			p.Submit(sim.Duration(s.rng.Exp(float64(burst))), nil)
 		}
-		s.k.After(sim.Duration(s.rng.Exp(float64(interval))), loop)
+		s.k.AfterFunc(sim.Duration(s.rng.Exp(float64(interval))), loop, nil)
 	}
-	s.k.After(s.rng.DurationRange(0, interval+1), loop)
+	s.k.AfterFunc(s.rng.DurationRange(0, interval+1), loop, nil)
 }

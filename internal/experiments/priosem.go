@@ -1,0 +1,136 @@
+package experiments
+
+import "sync"
+
+// Cost hints: wall-cost estimates per experiment id, typically loaded from
+// a previous run's BENCH_baseline.json wall_ms figures. RunAll uses them
+// two ways: experiments launch in LPT (longest-processing-time-first)
+// order so the heavy hitters start immediately, and the shared trial-slot
+// semaphore arbitrates every freed slot toward the costliest waiting
+// experiment (critical-path-first). Hints only shape scheduling — results
+// and attributed counters are byte-identical with or without them.
+var (
+	costHintsMu sync.Mutex
+	costHints   map[string]float64
+)
+
+// SetCostHints installs per-experiment wall-cost estimates for RunAll's
+// scheduler and returns the previous hints. Unknown experiments simply get
+// cost zero (scheduled last); nil clears all hints.
+func SetCostHints(h map[string]float64) map[string]float64 {
+	costHintsMu.Lock()
+	defer costHintsMu.Unlock()
+	prev := costHints
+	if h == nil {
+		costHints = nil
+	} else {
+		costHints = make(map[string]float64, len(h))
+		for k, v := range h {
+			costHints[k] = v
+		}
+	}
+	return prev
+}
+
+// snapshotCostHints returns a private copy of the installed hints.
+func snapshotCostHints() map[string]float64 {
+	costHintsMu.Lock()
+	defer costHintsMu.Unlock()
+	if len(costHints) == 0 {
+		return nil
+	}
+	h := make(map[string]float64, len(costHints))
+	for k, v := range costHints {
+		h[k] = v
+	}
+	return h
+}
+
+// prioSem is a counting semaphore whose release hands the freed slot to
+// the highest-priority waiter instead of an arbitrary one. Ties break
+// FIFO. It replaces the plain channel semaphore in the cross-experiment
+// trial budget: an idle slot is a stolen slot, and it should go to the
+// experiment with the most wall-clock left to burn.
+type prioSem struct {
+	mu      sync.Mutex
+	free    int
+	seq     uint64
+	waiters []semWaiter // max-heap on (prio, -seq)
+}
+
+type semWaiter struct {
+	prio float64
+	seq  uint64
+	ch   chan struct{}
+}
+
+func newPrioSem(n int) *prioSem { return &prioSem{free: n} }
+
+// before reports whether waiter a should be granted ahead of waiter b.
+func (a semWaiter) before(b semWaiter) bool {
+	if a.prio != b.prio {
+		return a.prio > b.prio
+	}
+	return a.seq < b.seq
+}
+
+// acquire takes one slot, blocking with the given priority if none is free.
+func (s *prioSem) acquire(prio float64) {
+	s.mu.Lock()
+	if s.free > 0 {
+		s.free--
+		s.mu.Unlock()
+		return
+	}
+	w := semWaiter{prio: prio, seq: s.seq, ch: make(chan struct{})}
+	s.seq++
+	s.waiters = append(s.waiters, w)
+	s.up(len(s.waiters) - 1)
+	s.mu.Unlock()
+	<-w.ch
+}
+
+// release frees one slot, granting it to the best waiter if any.
+func (s *prioSem) release() {
+	s.mu.Lock()
+	if n := len(s.waiters); n > 0 {
+		w := s.waiters[0]
+		s.waiters[0] = s.waiters[n-1]
+		s.waiters = s.waiters[:n-1]
+		s.down(0)
+		s.mu.Unlock()
+		close(w.ch)
+		return
+	}
+	s.free++
+	s.mu.Unlock()
+}
+
+func (s *prioSem) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !s.waiters[i].before(s.waiters[p]) {
+			return
+		}
+		s.waiters[i], s.waiters[p] = s.waiters[p], s.waiters[i]
+		i = p
+	}
+}
+
+func (s *prioSem) down(i int) {
+	n := len(s.waiters)
+	for {
+		best, l, r := i, 2*i+1, 2*i+2
+		if l < n && s.waiters[l].before(s.waiters[best]) {
+			best = l
+		}
+		if r < n && s.waiters[r].before(s.waiters[best]) {
+			best = r
+		}
+		if best == i {
+			return
+		}
+		s.waiters[i], s.waiters[best] = s.waiters[best], s.waiters[i]
+		i = best
+	}
+}

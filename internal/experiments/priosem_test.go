@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestPrioSemGrantOrder parks waiters at mixed priorities on an empty
+// semaphore and verifies releases grant strictly by descending priority,
+// FIFO among equals.
+func TestPrioSemGrantOrder(t *testing.T) {
+	s := newPrioSem(0)
+	prios := []float64{1, 5, 3, 5, 2}
+	granted := make(chan int, len(prios))
+	var wg sync.WaitGroup
+	for i, p := range prios {
+		wg.Add(1)
+		go func(i int, p float64) {
+			defer wg.Done()
+			s.acquire(p)
+			granted <- i
+		}(i, p)
+		// Serialize arrival so seq order (FIFO tiebreak) is deterministic.
+		for {
+			s.mu.Lock()
+			n := len(s.waiters)
+			s.mu.Unlock()
+			if n == i+1 {
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	var got []int
+	for range prios {
+		s.release()
+		got = append(got, <-granted)
+	}
+	wg.Wait()
+	// Priorities 5(idx1), 5(idx3, later arrival), 3(idx2), 2(idx4), 1(idx0).
+	if want := []int{1, 3, 2, 4, 0}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("grant order %v, want %v", got, want)
+	}
+	// A release with no waiters banks the slot: acquire must not block.
+	s.release()
+	done := make(chan struct{})
+	go func() {
+		s.acquire(0)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("acquire blocked on a semaphore with free slots")
+	}
+}
+
+// TestLPTOrder checks the launch-order seeding: descending cost, stable
+// for ties and unhinted ids, and a plain identity without hints.
+func TestLPTOrder(t *testing.T) {
+	ids := []string{"a", "b", "c", "d", "e"}
+	hints := map[string]float64{"a": 10, "b": 500, "c": 10, "e": 42}
+	if got, want := lptOrder(ids, hints), []int{1, 4, 0, 2, 3}; !reflect.DeepEqual(got, want) {
+		t.Errorf("lptOrder with hints = %v, want %v", got, want)
+	}
+	if got, want := lptOrder(ids, nil), []int{0, 1, 2, 3, 4}; !reflect.DeepEqual(got, want) {
+		t.Errorf("lptOrder without hints = %v, want %v", got, want)
+	}
+}
+
+// TestRunAllWithCostHintsIdentical runs a small experiment set serially
+// and then overlapped with cost hints installed: the critical-path-first
+// schedule may reorder execution, but every report and deterministic
+// counter must stay byte-identical, and results must come back in ids
+// order.
+func TestRunAllWithCostHintsIdentical(t *testing.T) {
+	ids := []string{"fig8a", "fig8b", "table2"}
+	prev := Parallelism()
+	defer SetParallelism(prev)
+
+	SetParallelism(1)
+	serial, err := RunAll(ids, 1, Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	defer SetCostHints(SetCostHints(map[string]float64{
+		"fig8a": 1, "fig8b": 1000, "table2": 50,
+	}))
+	SetParallelism(2)
+	hinted, err := RunAll(ids, 1, Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i, r := range hinted {
+		if r.ID != ids[i] {
+			t.Fatalf("result %d is %s, want %s (ids order)", i, r.ID, ids[i])
+		}
+		if r.Report.String() != serial[i].Report.String() {
+			t.Errorf("%s: report differs between serial and cost-hinted overlapped run", r.ID)
+		}
+		if got, want := deterministicStats(r.Stats), deterministicStats(serial[i].Stats); got != want {
+			t.Errorf("%s: counters differ:\nhinted: %+v\nserial: %+v", r.ID, got, want)
+		}
+	}
+}

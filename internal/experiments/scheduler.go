@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 )
@@ -18,21 +19,33 @@ type Result struct {
 	Wall   time.Duration
 }
 
-// RunAll executes the named experiments under the two-level scheduler.
+// RunAll executes the named experiments under the two-level, work-stealing
+// scheduler.
 //
 // Level one dispatches experiments; level two is the per-experiment trial
 // worker pool (forEach). Both levels share one trial budget: Parallelism()
 // slots process-wide, so -procs bounds in-flight trials no matter how many
 // experiments are open at once. With a budget of one the dispatcher
 // degrades to the classic serial schedule — experiments strictly one after
-// another — which is also the mode the committed baseline is generated in.
+// another, in ids order — which is also the mode the committed baseline is
+// generated in.
+//
+// The overlapped schedule is critical-path-first. When cost hints are
+// installed (SetCostHints, fed from a previous run's wall_ms), experiments
+// launch in LPT order — longest estimated wall first — so the heavy
+// hitters never end up as lone stragglers; and every slot freed by a
+// finishing trial is stolen by the waiting trial of the costliest open
+// experiment (prioSem), keeping the budget concentrated on the makespan's
+// critical path. Without hints all costs are zero and the schedule reduces
+// to ids-order launch with FIFO slot grants.
 //
 // Overlap is safe precisely because stat attribution is local: every
 // trial's kernel and fabric counters land in the owning experiment's
 // StatSink at endTrial, so each Result reads byte-identical to a serial
-// run (TestOverlappedVsSerialIdentical). Only wall time changes: trials
-// from later experiments fill the slots that an almost-finished
-// experiment's stragglers would otherwise leave idle.
+// run (TestOverlappedVsSerialIdentical) — with or without cost hints.
+// Only wall time changes: trials from later experiments fill the slots
+// that an almost-finished experiment's stragglers would otherwise leave
+// idle.
 //
 // On failure RunAll returns the error of the earliest experiment in ids
 // order, mirroring forEach's lowest-index rule, so error reporting is
@@ -59,14 +72,16 @@ func RunAll(ids []string, seed uint64, scale Scale) ([]Result, error) {
 		return results, nil
 	}
 
-	slots := make(chan struct{}, budget)
+	hints := snapshotCostHints()
+	order := lptOrder(ids, hints)
+	sem := newPrioSem(budget)
 	errs := make([]error, len(ids))
 	var wg sync.WaitGroup
 	wg.Add(len(ids))
-	for i := range ids {
+	for _, i := range order {
 		go func(i int) {
 			defer wg.Done()
-			rc := &runCtx{slots: slots}
+			rc := &runCtx{sem: sem, prio: hints[ids[i]]}
 			start := time.Now()
 			rep, err := runWith(rc, ids[i], seed, scale)
 			errs[i] = err
@@ -80,4 +95,19 @@ func RunAll(ids []string, seed uint64, scale Scale) ([]Result, error) {
 		}
 	}
 	return results, nil
+}
+
+// lptOrder returns the indices of ids sorted by descending cost hint
+// (longest processing time first), stable so unhinted runs keep ids order.
+func lptOrder(ids []string, hints map[string]float64) []int {
+	order := make([]int, len(ids))
+	for i := range order {
+		order[i] = i
+	}
+	if len(hints) > 0 {
+		sort.SliceStable(order, func(a, b int) bool {
+			return hints[ids[order[a]]] > hints[ids[order[b]]]
+		})
+	}
+	return order
 }

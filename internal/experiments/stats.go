@@ -24,6 +24,14 @@ type StatSink struct {
 	Messages  int64
 	WireBytes int64
 
+	// FastDispatches/SlowDispatches split fiber control transfers between
+	// the inline direct-dispatch fast path and the classic goroutine
+	// rendezvous. Deterministic for a fixed fast-path setting, but the
+	// split moves wholesale when -fastpath=off forces every dispatch slow,
+	// so regression gates treat them as advisory.
+	FastDispatches int64
+	SlowDispatches int64
+
 	// Arena counters for the run's trials. Gets/Puts/BytesDemand count
 	// what trials asked for (deterministic); Fresh/Reused/BytesZeroed
 	// count how the pools happened to serve it (advisory).
@@ -45,6 +53,8 @@ type StatSink struct {
 // add folds one trial's counters into the sink.
 func (s *StatSink) add(t StatSink) {
 	s.SimEvents += t.SimEvents
+	s.FastDispatches += t.FastDispatches
+	s.SlowDispatches += t.SlowDispatches
 	s.CQEs += t.CQEs
 	s.Messages += t.Messages
 	s.WireBytes += t.WireBytes
@@ -70,12 +80,15 @@ type runCtx struct {
 	mu   sync.Mutex
 	sink StatSink
 
-	// slots is the cross-experiment trial budget: a worker holds one slot
+	// sem is the cross-experiment trial budget: a worker holds one slot
 	// for the duration of each trial, so the total number of in-flight
 	// trials across every overlapped experiment never exceeds the -procs
-	// setting. nil means the run is not sharing a budget and forEach's own
-	// worker bound (Parallelism) is the only limit.
-	slots chan struct{}
+	// setting. Slots are granted critical-path-first: a freed slot goes to
+	// the waiting trial of the costliest experiment (prio, from the
+	// installed cost hints). nil means the run is not sharing a budget and
+	// forEach's own worker bound (Parallelism) is the only limit.
+	sem  *prioSem
+	prio float64
 }
 
 // addTrial folds one finished trial's counters into the run's sink.
@@ -99,16 +112,18 @@ func (rc *runCtx) stats() StatSink {
 	return rc.sink
 }
 
-// acquire takes one trial slot from the shared budget (no-op without one).
+// acquire takes one trial slot from the shared budget (no-op without one),
+// waiting at the run's cost priority.
 func (rc *runCtx) acquire() {
-	if rc != nil && rc.slots != nil {
-		rc.slots <- struct{}{}
+	if rc != nil && rc.sem != nil {
+		rc.sem.acquire(rc.prio)
 	}
 }
 
-// release returns a trial slot to the shared budget.
+// release returns a trial slot to the shared budget; the slot is stolen
+// immediately by the highest-priority waiting trial, if any.
 func (rc *runCtx) release() {
-	if rc != nil && rc.slots != nil {
-		<-rc.slots
+	if rc != nil && rc.sem != nil {
+		rc.sem.release()
 	}
 }

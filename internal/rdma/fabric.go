@@ -87,6 +87,12 @@ type Fabric struct {
 	// Reset; their MR/QP/CQ map storage survives across trials.
 	nicFree []*NIC
 
+	// wireFree recycles in-flight wire-message structs (see wireMsg). Like
+	// nicFree it survives Reset: a pooled struct holds no trial state.
+	// Messages still in flight when a trial is cut short are dropped with
+	// the kernel's event queue and simply never return to the pool.
+	wireFree []*wireMsg
+
 	// Fault-injection state (see fault.go). faultRNG is forked from rng
 	// only when a plan is installed, so plan-free runs draw the exact RNG
 	// sequence they always did. All of it clears on Reset.
@@ -154,6 +160,29 @@ func (p *BufPool) Buffers() int {
 
 func (f *Fabric) getBuf(n int) []byte { return f.bufs.get(n) }
 func (f *Fabric) putBuf(b []byte)     { f.bufs.put(b) }
+
+// getWire takes a wire-message struct from the pool or allocates one with
+// its fire closure pre-built.
+func (f *Fabric) getWire() *wireMsg {
+	if n := len(f.wireFree); n > 0 {
+		wm := f.wireFree[n-1]
+		f.wireFree[n-1] = nil
+		f.wireFree = f.wireFree[:n-1]
+		return wm
+	}
+	wm := &wireMsg{f: f}
+	wm.fireFn = wm.fire
+	return wm
+}
+
+// putWire recycles a delivered (or dropped) wire message, clearing the
+// references it carried so pooled structs pin neither QPs nor payloads.
+func (f *Fabric) putWire(wm *wireMsg) {
+	wm.to = nil
+	wm.msg = inMsg{}
+	wm.payload = nil
+	f.wireFree = append(f.wireFree, wm)
+}
 
 // AdoptBufPool makes f draw payload scratch buffers from bp instead of
 // its own pool. Call it before any traffic flows; bp must not be shared

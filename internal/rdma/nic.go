@@ -494,6 +494,74 @@ func (n *NIC) recycle() {
 	n.wqesExecuted, n.bytesTx = 0, 0
 }
 
+// wireMsg is one in-flight wire message: either a request leg carrying an
+// inMsg to the responder's inbox or an ack leg carrying a response back to
+// the requester. Structs are pooled on the fabric and each carries its own
+// cached fire closure, so a message on the wire costs one kernel event and
+// zero allocations.
+type wireMsg struct {
+	f       *Fabric
+	to      *QP
+	psn     uint64
+	isAck   bool
+	msg     inMsg // request leg
+	ep      uint64
+	seq     uint64
+	st      Status
+	payload []byte // ack leg
+	fireFn  func()
+}
+
+// fire is the delivery event for one wire message. The receiver-side
+// checks run at delivery time: a receiver that died while the message was
+// in flight loses it (the silent-drop contract is backed by the sender's
+// ack timeout, so the loss surfaces as an error CQE instead of an eternal
+// hang), and a duplicate of an already-delivered psn is discarded exactly
+// as RC transport dedup would discard a retransmission. The struct is
+// recycled before the payload is handed on, so re-entrant sends inside the
+// handler can reuse it.
+func (wm *wireMsg) fire() {
+	f, to := wm.f, wm.to
+	if to.nic.down || to.dead {
+		// A destroyed QP loses in-flight messages exactly like a dead NIC;
+		// the sender's ack timeout bounds the loss.
+		f.faultStats.Drops++
+		f.putWire(wm)
+		return
+	}
+	if wm.psn < to.wireRx {
+		f.faultStats.DupsSuppressed++
+		f.putWire(wm)
+		return
+	}
+	to.wireRx = wm.psn + 1
+	if wm.isAck {
+		ep, seq, st, payload := wm.ep, wm.seq, wm.st, wm.payload
+		f.putWire(wm)
+		to.handleAck(ep, seq, st, payload)
+		return
+	}
+	m := wm.msg
+	f.putWire(wm)
+	to.enqueueInbox(m)
+}
+
+// sendRequest transmits a request leg to the responder's inbox.
+func (n *NIC) sendRequest(to *QP, size int, msg inMsg) {
+	wm := n.fabric.getWire()
+	wm.isAck = false
+	wm.msg = msg
+	n.send(to, size, wm)
+}
+
+// sendAck transmits an ack/response leg back to the requester.
+func (n *NIC) sendAck(to *QP, size int, ep, seq uint64, st Status, payload []byte) {
+	wm := n.fabric.getWire()
+	wm.isAck = true
+	wm.ep, wm.seq, wm.st, wm.payload = ep, seq, st, payload
+	n.send(to, size, wm)
+}
+
 // send transmits a message to a peer QP with FIFO ordering per direction.
 // Loopback traffic (same NIC) skips the wire entirely and costs only NIC
 // processing time. The installed fault plan (if any) is consulted per wire
@@ -502,12 +570,13 @@ func (n *NIC) recycle() {
 // schedules a second delivery carrying the same wire sequence number,
 // which the receiver's dedup discards. Every loss is bounded by the
 // requester's ack timeout (see QP.ackExpire) — nothing hangs on a drop.
-func (n *NIC) send(to *QP, size int, deliver func()) {
+func (n *NIC) send(to *QP, size int, wm *wireMsg) {
 	f := n.fabric
 	if n.down {
 		// A dead NIC transmits nothing; its own pending window flushes via
 		// the ack timeout.
 		f.faultStats.Drops++
+		f.putWire(wm)
 		return
 	}
 	var d sim.Duration
@@ -521,6 +590,7 @@ func (n *NIC) send(to *QP, size int, deliver func()) {
 		if lf := f.linkFault(n.host, to.nic.host); lf != nil {
 			if lf.partitioned(f.k.Now()) || (lf.DropProb > 0 && f.faultRNG.Bernoulli(lf.DropProb)) {
 				f.faultStats.Drops++
+				f.putWire(wm)
 				return // lost on the wire; transmit costs already paid
 			}
 			d += lf.ExtraDelay
@@ -536,35 +606,17 @@ func (n *NIC) send(to *QP, size int, deliver func()) {
 	to.lastArrival = at
 	psn := to.wireTx
 	to.wireTx++
-	n.deliver(to, at, psn, deliver)
+	wm.to, wm.psn = to, psn
 	if dup {
+		// An injected duplicate is a second delivery event carrying the same
+		// wire sequence number; the receiver's psn dedup discards one.
 		f.faultStats.Dups++
-		n.deliver(to, at, psn, deliver)
+		wm2 := f.getWire()
+		wm2.to, wm2.psn, wm2.isAck = to, psn, wm.isAck
+		wm2.msg, wm2.ep, wm2.seq, wm2.st, wm2.payload = wm.msg, wm.ep, wm.seq, wm.st, wm.payload
+		f.k.AtFunc(at, wm.fireFn, nil)
+		f.k.AtFunc(at, wm2.fireFn, nil)
+		return
 	}
-}
-
-// deliver schedules one delivery attempt of wire message psn at instant
-// at. The receiver-side checks run at delivery time: a receiver that died
-// while the message was in flight loses it (the silent-drop contract is
-// now backed by the sender's ack timeout, so the loss surfaces as an
-// error CQE instead of an eternal hang), and a duplicate of an
-// already-delivered psn is discarded exactly as RC transport dedup would
-// discard a retransmission.
-func (n *NIC) deliver(to *QP, at sim.Time, psn uint64, deliverFn func()) {
-	f := n.fabric
-	targetNIC := to.nic
-	f.k.AtFunc(at, func() {
-		if targetNIC.down || to.dead {
-			// A destroyed QP loses in-flight messages exactly like a dead
-			// NIC; the sender's ack timeout bounds the loss.
-			f.faultStats.Drops++
-			return
-		}
-		if psn < to.wireRx {
-			f.faultStats.DupsSuppressed++
-			return
-		}
-		to.wireRx = psn + 1
-		deliverFn()
-	}, nil)
+	f.k.AtFunc(at, wm.fireFn, nil)
 }

@@ -55,7 +55,13 @@ type inMsg struct {
 	imm     uint32
 	compare uint64
 	swap    uint64
-	reply   func(st Status, payload []byte)
+
+	// Reply routing: the requester QP, its epoch at issue time, and the op
+	// sequence the response must echo. Plain fields instead of a reply
+	// closure keep the datapath allocation-free (see finishInbox).
+	src    *QP
+	srcEp  uint64
+	srcSeq uint64
 }
 
 // pendingOp tracks an issued remote operation awaiting its ACK/response.
@@ -66,10 +72,9 @@ type inMsg struct {
 // ack) was lost and fails them immediately instead of waiting out the
 // timeout (see handleAck).
 type pendingOp struct {
-	wqe      WQE
-	at       sim.Time
-	seq      uint64
-	complete func(st Status, payload []byte)
+	wqe WQE
+	at  sim.Time
+	seq uint64
 }
 
 // QP is a reliable-connected queue pair. Its send queue is a ring of
@@ -120,7 +125,7 @@ type QP struct {
 
 	// Cached callbacks: the engine schedules these thousands of times per
 	// simulated op, so they are allocated once per QP, with the pending
-	// state (inReply/inSt/inResp) carried on the struct. Each has at most
+	// state (inSrc/inSt/inResp) carried on the struct. Each has at most
 	// one outstanding invocation (guarded by pumpBusy / inboxBusy /
 	// rnrWaiting), so the shared state cannot be clobbered.
 	pumpFn       func()
@@ -129,9 +134,11 @@ type QP struct {
 	inboxDoneFn  func()
 	rnrRetryFn   func()
 
-	inReply func(st Status, payload []byte)
-	inSt    Status
-	inResp  []byte
+	inSrc  *QP // requester awaiting the in-flight inbound message's reply
+	inEp   uint64
+	inSeq  uint64
+	inSt   Status
+	inResp []byte
 }
 
 // initCallbacks builds the per-QP cached callbacks; called from CreateQP.
@@ -455,23 +462,15 @@ func (q *QP) execute(w WQE) {
 			length:  w.Len,
 			rkey:    w.Aux1,
 			imm:     w.Imm,
-		}, len(payload), nil)
+		}, len(payload))
 
 	case OpRead:
-		local := w.Local
 		q.issueRemote(w, inMsg{
 			kind:   inRead,
 			addr:   w.Remote,
 			length: w.Len,
 			rkey:   w.Aux1,
-		}, 0, func(payload []byte) Status {
-			// payload is a pooled scratch buffer owned by handleAck; the
-			// device write below copies it out.
-			if err := n.mem.Write(int(local), payload); err != nil {
-				return StatusLocalError
-			}
-			return StatusSuccess
-		})
+		}, 0)
 
 	case OpFlush:
 		q.issueRemote(w, inMsg{
@@ -479,10 +478,9 @@ func (q *QP) execute(w WQE) {
 			addr:   w.Remote,
 			length: w.Len,
 			rkey:   w.Aux1,
-		}, 0, nil)
+		}, 0)
 
 	case OpCAS:
-		local := w.Local
 		q.issueRemote(w, inMsg{
 			kind:    inCAS,
 			addr:    w.Remote,
@@ -490,15 +488,7 @@ func (q *QP) execute(w WQE) {
 			rkey:    w.Aux1,
 			compare: w.Compare,
 			swap:    w.Swap,
-		}, 16, func(payload []byte) Status {
-			if len(payload) != 8 {
-				return StatusLocalError
-			}
-			if err := n.mem.Write(int(local), payload); err != nil {
-				return StatusLocalError
-			}
-			return StatusSuccess
-		})
+		}, 16)
 
 	default:
 		q.completeLocal(w, StatusLocalError)
@@ -507,37 +497,42 @@ func (q *QP) execute(w WQE) {
 }
 
 // issueRemote transmits msg to the peer, registers the pending completion,
-// and advances the ring after the engine occupancy. onReply, if non-nil,
-// post-processes the response payload at the requester.
-func (q *QP) issueRemote(w WQE, msg inMsg, wireBytes int, onReply func([]byte) Status) {
-	peer := q.peer
+// and advances the ring after the engine occupancy. Response
+// post-processing (READ/CAS results landing in requester memory) is
+// dispatched from the stored WQE in completePending, so issuing an op
+// allocates nothing.
+func (q *QP) issueRemote(w WQE, msg inMsg, wireBytes int) {
 	seq := q.opTx
 	q.opTx++
-	q.pending.PushBack(pendingOp{
-		wqe: w,
-		at:  q.nic.fabric.k.Now(),
-		seq: seq,
-		complete: func(st Status, payload []byte) {
-			if st == StatusSuccess && onReply != nil {
-				st = onReply(payload)
-			}
-			q.pushSendCompletion(w, st, len(payload))
-		},
-	})
+	q.pending.PushBack(pendingOp{wqe: w, at: q.nic.fabric.k.Now(), seq: seq})
 	if !q.ackArmed {
 		q.armAckTimer()
 	}
-	ep := q.epoch
-	msg.reply = func(st Status, payload []byte) {
-		// Responses travel the reverse direction with the same FIFO clamp.
-		peer.nic.send(q, len(payload), func() {
-			q.handleAck(ep, seq, st, payload)
-		})
-	}
-	q.nic.send(peer, wireBytes, func() {
-		peer.enqueueInbox(msg)
-	})
+	msg.src, msg.srcEp, msg.srcSeq = q, q.epoch, seq
+	q.nic.sendRequest(q.peer, wireBytes, msg)
 	q.advance(w, q.nic.fabric.cfg.WQEProc+q.nic.fabric.xmitTime(wireBytes))
+}
+
+// completePending resolves one issued remote op with its response: a
+// READ/CAS response payload (a pooled scratch buffer owned by handleAck)
+// is copied into requester memory first, then the send completion is
+// pushed with the resulting status.
+func (q *QP) completePending(op pendingOp, st Status, payload []byte) {
+	if st == StatusSuccess {
+		switch op.wqe.Opcode {
+		case OpRead:
+			if err := q.nic.mem.Write(int(op.wqe.Local), payload); err != nil {
+				st = StatusLocalError
+			}
+		case OpCAS:
+			if len(payload) != 8 {
+				st = StatusLocalError
+			} else if err := q.nic.mem.Write(int(op.wqe.Local), payload); err != nil {
+				st = StatusLocalError
+			}
+		}
+	}
+	q.pushSendCompletion(op.wqe, st, len(payload))
 }
 
 // armAckTimer (re)schedules the transport deadline for the oldest pending
@@ -584,7 +579,7 @@ func (q *QP) flushPending(first Status) {
 	st := first
 	for q.pending.Len() > 0 {
 		op := q.pending.PopFront()
-		op.complete(st, nil)
+		q.completePending(op, st, nil)
 		st = StatusFlushed
 	}
 }
@@ -607,7 +602,7 @@ func (q *QP) handleAck(ep uint64, seq uint64, st Status, payload []byte) {
 	// their full timeout.
 	for q.pending.Len() > 0 && q.pending.Front().seq < seq {
 		op := q.pending.PopFront()
-		op.complete(StatusTimeout, nil)
+		q.completePending(op, StatusTimeout, nil)
 	}
 	if q.pending.Len() == 0 || q.pending.Front().seq != seq {
 		// The op this reply answers was already resolved; drop it.
@@ -616,8 +611,8 @@ func (q *QP) handleAck(ep uint64, seq uint64, st Status, payload []byte) {
 		return
 	}
 	op := q.pending.PopFront()
-	op.complete(st, payload)
-	// Response payloads (READ/CAS results) are consumed inside complete;
+	q.completePending(op, st, payload)
+	// Response payloads (READ/CAS results) are consumed by completePending;
 	// recycle the scratch buffer.
 	q.nic.fabric.putBuf(payload)
 	q.rearmOrStopAckTimer()
@@ -702,7 +697,7 @@ func (q *QP) processInbox() {
 	// The request payload has been applied to memory; recycle it before the
 	// occupancy delay so back-to-back messages reuse the same buffer.
 	q.nic.fabric.putBuf(m.payload)
-	q.inReply, q.inSt, q.inResp = m.reply, st, resp
+	q.inSrc, q.inEp, q.inSeq, q.inSt, q.inResp = m.src, m.srcEp, m.srcSeq, st, resp
 	q.nic.fabric.k.AfterFunc(occ, q.inboxDoneFn, nil)
 }
 
@@ -710,10 +705,11 @@ func (q *QP) processInbox() {
 // delay: it sends the reply (if any) and resumes inbox processing.
 func (q *QP) finishInbox() {
 	q.inboxBusy = false
-	reply, st, resp := q.inReply, q.inSt, q.inResp
-	q.inReply, q.inResp = nil, nil
-	if reply != nil {
-		reply(st, resp)
+	src, ep, seq, st, resp := q.inSrc, q.inEp, q.inSeq, q.inSt, q.inResp
+	q.inSrc, q.inResp = nil, nil
+	if src != nil {
+		// Responses travel the reverse direction with the same FIFO clamp.
+		q.nic.sendAck(src, len(resp), ep, seq, st, resp)
 	}
 	q.processInbox()
 }
@@ -861,7 +857,8 @@ func (q *QP) scrub() {
 	q.epoch = 0
 	q.opTx = 0
 	q.wireTx, q.wireRx = 0, 0
-	q.inReply, q.inResp = nil, nil
+	q.inSrc, q.inResp = nil, nil
+	q.inEp, q.inSeq = 0, 0
 	q.inSt = 0
 }
 

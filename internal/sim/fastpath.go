@@ -1,0 +1,255 @@
+package sim
+
+import (
+	"fmt"
+	"os"
+	"runtime/debug"
+	"sync/atomic"
+)
+
+// Direct-dispatch fast path.
+//
+// Most fiber bodies in the datapath run a short, straight-line step and
+// either exit or block exactly once. The classic dispatch pays two channel
+// rendezvous (four park/unpark operations) per control transfer into a
+// runner goroutine even for a body that never blocks. The fast path
+// instead executes a starting fiber's body inline, on the kernel
+// goroutine, inside the start event itself: a run-to-completion fiber
+// costs zero channel operations and zero goroutines.
+//
+// Demotion. A body cannot be proven block-free up front, so the fast path
+// is optimistic: the moment an inline body blocks (Sleep, Await,
+// Mutex.Lock — they all funnel into pause), the fiber demotes. The
+// goroutine currently running the body — which *is* the kernel goroutine —
+// becomes the fiber's runner and parks, and the kernel role migrates to a
+// pooled worker goroutine, which continues the event loop. From then on
+// the fiber is indistinguishable from a classic one: it resumes via the
+// usual ctl rendezvous, and when it exits, the kernel re-pools the hosting
+// worker goroutine.
+//
+// Invariants the kernel goroutine relies on:
+//
+//   - One-runner invariant, unchanged: exactly one goroutine of a kernel
+//     executes at any moment. Migration transfers the kernel role with a
+//     single channel send (the worker's wake), which is also the
+//     happens-before edge for the race detector.
+//   - The origin goroutine — the one that called Run — never executes a
+//     fiber body inline. The first fast start of a run migrates the role
+//     to a worker before dispatching; otherwise a demotion would park the
+//     Run caller inside a fiber that may never resume (StopRun with
+//     parked fibers is routine), and Run could never return. The origin
+//     instead waits for the finishing worker's result.
+//   - Inline dispatch is gated to depth 1. A demotion inside a nested
+//     RunUntil would strand the nested caller's stack under the parked
+//     fiber; nested loops therefore always use classic runner dispatch.
+//   - A goroutine that loses the kernel role stops touching shared kernel
+//     state the moment the role leaves: role loss is recorded in the
+//     goroutine-local loopCtx (written only by its owner) before the
+//     transfer, never read from shared state afterwards.
+
+// fastOff is the package-wide escape hatch for the direct-dispatch fast
+// path. Set SIM_FASTPATH=off (or 0) in the environment, call
+// SetFastPath(false), or pass -fastpath=off to hyperloop-bench to force
+// every fiber through the classic runner path. Virtual-time behaviour is
+// byte-identical either way (TestFastPathTraceIdentical).
+var fastOff atomic.Bool
+
+func init() {
+	switch os.Getenv("SIM_FASTPATH") {
+	case "off", "0", "false":
+		fastOff.Store(true)
+	}
+}
+
+// SetFastPath enables or disables the direct-dispatch fast path for all
+// kernels in the process, returning the previous setting.
+func SetFastPath(on bool) bool { return !fastOff.Swap(!on) }
+
+// FastPathEnabled reports whether the direct-dispatch fast path is on.
+func FastPathEnabled() bool { return !fastOff.Load() }
+
+// kworker is a pooled kernel-worker goroutine: it parks until handed the
+// kernel role, serves the event loop (and at most one inline fiber start)
+// until the run finishes or the role migrates away again, then parks or
+// retires.
+type kworker struct {
+	k      *Kernel
+	wake   chan struct{} // buffered(1): the role handoff
+	retire bool          // set (then woken) by drainWorkerPool
+}
+
+// getWorker takes a parked worker from the pool or starts one.
+func (k *Kernel) getWorker() *kworker {
+	if n := len(k.workerFree); n > 0 {
+		w := k.workerFree[n-1]
+		k.workerFree[n-1] = nil
+		k.workerFree = k.workerFree[:n-1]
+		return w
+	}
+	w := &kworker{k: k, wake: make(chan struct{}, 1)}
+	go w.main()
+	return w
+}
+
+// poolWorker parks a worker that lost the kernel role for reuse. Called
+// only from kernel context.
+func (k *Kernel) poolWorker(w *kworker) {
+	k.workerFree = append(k.workerFree, w)
+}
+
+// drainWorkerPool retires every parked worker goroutine at top-level Run
+// exit, mirroring drainFiberPool: an abandoned kernel leaks nothing.
+func (k *Kernel) drainWorkerPool() {
+	for i, w := range k.workerFree {
+		w.retire = true
+		w.wake <- struct{}{}
+		k.workerFree[i] = nil
+	}
+	k.workerFree = k.workerFree[:0]
+}
+
+// migrate hands the kernel role to a worker goroutine. When handoff is
+// non-nil the worker dispatches that fiber inline before entering the
+// event loop (the origin-goroutine case); with nil it continues the loop
+// directly (the demotion case). The caller must record role loss in its
+// own loopCtx — captured before calling migrate — and stop touching
+// kernel state.
+func (k *Kernel) migrate(handoff *Fiber) {
+	if k.runDone == nil {
+		k.runDone = make(chan runResult, 1)
+	}
+	w := k.getWorker()
+	k.migrated = true
+	k.curWorker = w
+	k.handoff = handoff
+	w.wake <- struct{}{}
+}
+
+// main is the worker goroutine's loop: park until woken with the kernel
+// role (or a retire token), serve until the run finishes or the role
+// moves on, repeat.
+func (w *kworker) main() {
+	for {
+		<-w.wake
+		if w.retire {
+			return
+		}
+		done, err, pan := w.serve()
+		if !done {
+			// The role migrated off this goroutine (it hosted a demoted
+			// fiber, or its loop lost the role). By the time serve
+			// returned, the then-kernel re-pooled this worker; park until
+			// the next wake. No shared state is touched here.
+			continue
+		}
+		w.k.finishRun(err, pan)
+		return
+	}
+}
+
+// serve runs the kernel role on this worker: the pending inline handoff,
+// if any, then the event loop. It reports done=false when the role
+// migrated away (the run continues elsewhere), and captures a panic from
+// event or fiber code so main can forward it to the origin goroutine.
+func (w *kworker) serve() (done bool, err error, pan any) {
+	k := w.k
+	var lc loopCtx
+	defer func() {
+		if p := recover(); p != nil {
+			pan = p
+			done = true
+		}
+	}()
+	if f := k.handoff; f != nil {
+		k.handoff = nil
+		k.curLoop = &lc
+		k.dispatchInline(f)
+		if lc.lost {
+			return false, nil, nil
+		}
+	}
+	err = k.loop(&lc)
+	return !lc.lost, err, nil
+}
+
+// finishRun completes a migrated run on the worker that finished it: exit
+// bookkeeping (the origin goroutine skipped its own), then the result
+// handoff that unblocks the origin's Run call. On panic the bookkeeping
+// still runs first, matching the deferred exitRun of a classic Run.
+func (k *Kernel) finishRun(err error, pan any) {
+	k.exitRun()
+	k.runDone <- runResult{err: err, pan: pan}
+}
+
+// startFiber is every fiber's start event. It picks the dispatch mode:
+// inline on the kernel goroutine when the fast path allows it, classic
+// runner rendezvous otherwise (fast path off, nested run depth, or a
+// fiber that already owns a runner goroutine).
+func (k *Kernel) startFiber(f *Fiber) {
+	if f.hasRunner {
+		k.fibers++
+		f.dispatch()
+		return
+	}
+	if k.depth != 1 || fastOff.Load() {
+		// Gate: attach a runner and dispatch classically. The struct came
+		// from the runner-less pool; it keeps its runner from here on.
+		f.hasRunner = true
+		k.fiberStarts++
+		go f.run()
+		k.fibers++
+		f.dispatch()
+		return
+	}
+	if !k.migrated {
+		// Never run a body inline on the origin goroutine (see the
+		// invariants above). Hand the role — and this fiber — to a worker;
+		// this goroutine's loop sees lost and Run waits on runDone.
+		lc := k.curLoop
+		k.migrate(f)
+		lc.lost = true
+		return
+	}
+	k.dispatchInline(f)
+}
+
+// dispatchInline runs a fiber body on the current kernel goroutine. If the
+// body blocks, pause demotes the fiber: this goroutine becomes its runner
+// and the kernel role migrates (demoted reports that). The deferred
+// handler runs in both worlds — still-kernel (plain return or panic) and
+// demoted host (body finished long after, on what is now a runner
+// goroutine parked-in-dispatch's exclusive window) — and must only decide
+// which side it is on via the fiber's own state.
+func (k *Kernel) dispatchInline(f *Fiber) (demoted bool) {
+	k.fastDispatches++
+	k.fibers++
+	f.fastActive = true
+	fn := f.fn
+	f.fn = nil
+	defer func() {
+		p := recover()
+		f.fastActive = false
+		f.exited = true
+		if p != nil {
+			f.pan = p
+			f.stack = debug.Stack()
+			f.dead = true
+		}
+		k.fibers--
+		demoted = f.demoted
+		if demoted {
+			// A kernel goroutine is parked in dispatch() waiting for this
+			// fiber; wake it. It re-pools this hosting worker, releases
+			// the fiber, and re-raises a panic in kernel context.
+			f.ctl <- struct{}{}
+			return
+		}
+		// Still on the kernel goroutine.
+		if f.dead {
+			panic(fmt.Sprintf("sim: fiber %q panicked: %v\n%s", f.name, f.pan, f.stack))
+		}
+		k.releaseFiberStruct(f)
+	}()
+	fn(f)
+	return
+}

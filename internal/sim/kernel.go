@@ -2,8 +2,11 @@ package sim
 
 import (
 	"errors"
+	"math/bits"
 	"sync/atomic"
 	"time"
+
+	"hyperloop/internal/ring"
 )
 
 // Time is a virtual-clock instant in nanoseconds since the start of the
@@ -33,20 +36,56 @@ func (t Time) String() string { return Duration(t).String() }
 
 // event is a scheduled callback. Events are recycled through a per-kernel
 // free list; gen distinguishes incarnations so a stale Timer can never
-// cancel a recycled event.
+// cancel a recycled event. gen is 64-bit on purpose: a 32-bit counter wraps
+// after 2^32 recycles of one struct — reachable in a long fuzzing or
+// soak run — at which point a stale Timer held across the wrap would
+// cancel an innocent event. 64 bits never wrap in practice.
 type event struct {
 	fn    func()
 	seq   uint64
-	gen   uint32
+	gen   uint64
 	index int32 // heap index; -1 when not queued
 }
 
-// heapEntry keeps the ordering key inline so sift operations compare
-// without chasing the event pointer.
+// signBit flips the int64 sign so that packing a Time into a uint64
+// preserves order under unsigned comparison.
+const signBit = 1 << 63
+
+// packHi maps a Time to the high word of the packed ordering key. The sign
+// flip makes uint64 comparison agree with int64 comparison, so negative
+// instants (which the public API clamps away, but the comparator must not
+// rely on that) still order correctly.
+func packHi(at Time) uint64 { return uint64(at) ^ signBit }
+
+// unpackAt recovers the Time from a packed high word.
+func unpackAt(hi uint64) Time { return Time(hi ^ signBit) }
+
+// keyLess compares two packed (Time, seq) keys as a single 128-bit unsigned
+// value: the subtraction a-b borrows out of the high word exactly when
+// a < b. One borrow chain, no branches — the event heap's entire ordering
+// rule, (at, seq) lexicographic, in two ALU ops.
+func keyLess(ahi, alo, bhi, blo uint64) bool {
+	_, borrow := bits.Sub64(alo, blo, 0)
+	_, borrow = bits.Sub64(ahi, bhi, borrow)
+	return borrow != 0
+}
+
+// heapEntry keeps the packed ordering key inline so sift operations compare
+// without chasing the event pointer. hi is packHi(at), lo is the sequence
+// number; together they form one 128-bit key with the same total order as
+// lexicographic (at, seq).
 type heapEntry struct {
-	at  Time
-	seq uint64 // tie-break: FIFO among same-instant events
-	ev  *event
+	hi, lo uint64
+	ev     *event
+}
+
+// ringEv is a same-instant callback queued on the kernel's FIFO ring
+// instead of the heap. Only callbacks scheduled with a nil *Timer ride the
+// ring, so no handle can ever cancel one; seq keeps the total order exact
+// when ring and heap both hold events for the current instant.
+type ringEv struct {
+	seq uint64
+	fn  func()
 }
 
 // Timer is a handle to a scheduled event that can be cancelled. The zero
@@ -54,12 +93,17 @@ type heapEntry struct {
 type Timer struct {
 	k   *Kernel
 	ev  *event
-	gen uint32
+	gen uint64
 }
 
 // Stop cancels the timer. It reports whether the event had not yet fired.
-// Stopping a timer whose event already fired is a no-op, even if the
-// underlying event struct has since been recycled for another callback.
+//
+// Stop is safe at any point in the event's lifetime: before it fires Stop
+// removes it and returns true; at or after the instant it fires —
+// including from the event's own callback, or from another event at the
+// same virtual instant — the generation check sees the recycled struct and
+// Stop returns false. The kernel bumps the generation before invoking the
+// callback, so "has fired" and "stale handle" are the same observation.
 func (t *Timer) Stop() bool {
 	if t == nil || t.ev == nil {
 		return false
@@ -93,6 +137,7 @@ type Kernel struct {
 	now     Time
 	seq     uint64
 	events  []heapEntry
+	nowq    ring.Ring[ringEv] // same-instant FIFO: timer-less events at t <= now
 	free    []*event
 	rng     *RNG
 	stopped bool
@@ -102,6 +147,18 @@ type Kernel struct {
 
 	fiberFree   []*Fiber // parked runner goroutines, reused across Spawns
 	fiberStarts int64    // runner goroutines ever created (pool misses)
+
+	// Direct-dispatch fast path state; see fastpath.go.
+	fiberStructs []*Fiber   // runner-less fibers for inline dispatch
+	workerFree   []*kworker // parked kernel-worker goroutines
+	curWorker    *kworker   // worker currently holding the kernel role (nil: origin)
+	curLoop      *loopCtx   // innermost live event loop's context
+	handoff      *Fiber     // fiber the next woken worker dispatches inline
+	runDone      chan runResult
+	migrated     bool // kernel role has left the origin Run goroutine
+
+	fastDispatches int64 // fiber bodies started inline on the kernel goroutine
+	slowDispatches int64 // rendezvous control transfers into a fiber runner
 
 	executed int64
 	flushed  int64 // portion of executed already added to totalEvents
@@ -148,66 +205,77 @@ func (k *Kernel) release(ev *event) {
 	k.free = append(k.free, ev)
 }
 
-func (k *Kernel) heapLess(i, j int) bool {
-	a, b := &k.events[i], &k.events[j]
-	if a.at != b.at {
-		return a.at < b.at
-	}
-	return a.seq < b.seq
-}
-
-func (k *Kernel) heapSwap(i, j int) {
-	h := k.events
-	h[i], h[j] = h[j], h[i]
-	h[i].ev.index = int32(i)
-	h[j].ev.index = int32(j)
-}
-
-// The event queue is a 4-ary heap: half the depth of a binary heap means
-// half the swaps per sift, and the four children share a cache line of
-// heapEntries. Heap shape never affects simulation order — pops follow the
-// strict total order (at, seq), which any correct heap yields identically.
+// The event queue is a 4-ary heap over packed 128-bit keys: half the depth
+// of a binary heap means half the moves per sift, the four children share a
+// cache line of heapEntries, and each comparison is one borrow chain
+// (keyLess) instead of a two-field branch. Sifts move entries into a hole
+// rather than swapping, so each level costs one entry copy, not three.
+// Heap shape never affects simulation order — pops follow the strict total
+// order (at, seq), which any correct heap yields identically.
 func (k *Kernel) siftUp(i int) {
+	h := k.events
+	e := h[i]
 	for i > 0 {
-		parent := (i - 1) / 4
-		if !k.heapLess(i, parent) {
+		p := (i - 1) >> 2
+		if !keyLess(e.hi, e.lo, h[p].hi, h[p].lo) {
 			break
 		}
-		k.heapSwap(i, parent)
-		i = parent
+		h[i] = h[p]
+		h[i].ev.index = int32(i)
+		i = p
 	}
+	h[i] = e
+	e.ev.index = int32(i)
 }
 
+// siftDown restores heap order below i, reporting whether the entry moved.
+// The interior-node case (all four children present) is specialized: the
+// min-of-four scan runs with no per-child bounds checks.
 func (k *Kernel) siftDown(i int) bool {
-	n := len(k.events)
+	h := k.events
+	n := len(h)
+	e := h[i]
 	i0 := i
 	for {
-		l := 4*i + 1
-		if l >= n {
+		c := i<<2 + 1
+		if c >= n {
 			break
 		}
-		j := l
-		hi := l + 4
-		if hi > n {
-			hi = n
-		}
-		for c := l + 1; c < hi; c++ {
-			if k.heapLess(c, j) {
-				j = c
+		m := c
+		mhi, mlo := h[c].hi, h[c].lo
+		if c+4 <= n {
+			// Interior node: exactly four children, unrolled.
+			if keyLess(h[c+1].hi, h[c+1].lo, mhi, mlo) {
+				m, mhi, mlo = c+1, h[c+1].hi, h[c+1].lo
+			}
+			if keyLess(h[c+2].hi, h[c+2].lo, mhi, mlo) {
+				m, mhi, mlo = c+2, h[c+2].hi, h[c+2].lo
+			}
+			if keyLess(h[c+3].hi, h[c+3].lo, mhi, mlo) {
+				m, mhi, mlo = c+3, h[c+3].hi, h[c+3].lo
+			}
+		} else {
+			for j := c + 1; j < n; j++ {
+				if keyLess(h[j].hi, h[j].lo, mhi, mlo) {
+					m, mhi, mlo = j, h[j].hi, h[j].lo
+				}
 			}
 		}
-		if !k.heapLess(j, i) {
+		if !keyLess(mhi, mlo, e.hi, e.lo) {
 			break
 		}
-		k.heapSwap(i, j)
-		i = j
+		h[i] = h[m]
+		h[i].ev.index = int32(i)
+		i = m
 	}
+	h[i] = e
+	e.ev.index = int32(i)
 	return i > i0
 }
 
 func (k *Kernel) heapPush(at Time, ev *event) {
 	ev.index = int32(len(k.events))
-	k.events = append(k.events, heapEntry{at: at, seq: ev.seq, ev: ev})
+	k.events = append(k.events, heapEntry{hi: packHi(at), lo: ev.seq, ev: ev})
 	k.siftUp(len(k.events) - 1)
 }
 
@@ -269,20 +337,49 @@ func (k *Kernel) AfterFunc(d Duration, fn func(), t *Timer) {
 }
 
 // AtFunc is AfterFunc with an absolute instant.
+//
+// A timer-less callback at the current instant — the shape of every
+// doorbell, dispatch kick, and fiber start in the datapath — skips the
+// event heap entirely: it is appended to the kernel's same-instant FIFO
+// ring, which pops in O(1) with no event allocation. The ring preserves
+// the exact (at, seq) total order: its entries all carry at == now, they
+// are pushed (hence popped) in seq order, and the run loop fires a heap
+// event first whenever the heap's front sorts earlier.
 func (k *Kernel) AtFunc(at Time, fn func(), t *Timer) {
-	if t != nil {
-		t.Stop()
+	if t == nil {
+		if at <= k.now {
+			k.seq++
+			k.nowq.PushBack(ringEv{seq: k.seq, fn: fn})
+			return
+		}
+		k.schedule(at, fn)
+		return
 	}
+	t.Stop()
 	ev := k.schedule(at, fn)
-	if t != nil {
-		t.k = k
-		t.ev = ev
-		t.gen = ev.gen
-	}
+	t.k = k
+	t.ev = ev
+	t.gen = ev.gen
 }
 
 // StopRun makes Run return after the current event completes.
 func (k *Kernel) StopRun() { k.stopped = true }
+
+// loopCtx is one live event loop's goroutine-local state. lost is set when
+// the kernel role migrates off the goroutine running the loop (see
+// fastpath.go); the loop then returns immediately — the run continues on
+// the worker that took the role — without touching shared kernel state
+// again. Only the goroutine that owns the loop ever writes its ctx.
+type loopCtx struct {
+	lost bool
+}
+
+// runResult carries a finished run's outcome from the worker goroutine that
+// completed it back to the origin Run caller.
+type runResult struct {
+	err error
+	pan any
+}
 
 // Run executes events in order until the queue drains, the optional limit is
 // reached, or StopRun is called. It returns ErrStopped in the latter case.
@@ -291,29 +388,102 @@ func (k *Kernel) StopRun() { k.stopped = true }
 // flag is reset only at top-level entry, so a StopRun issued during a nested
 // RunUntil propagates out to the outer Run instead of being swallowed by the
 // nested call's own reset.
+//
+// A top-level Run does not necessarily finish on the calling goroutine:
+// when a fiber started inline demotes (see fastpath.go), the kernel role
+// migrates to a pooled worker goroutine and the caller waits for the
+// worker to deliver the result. Callers observe identical semantics either
+// way — same error, same panics, same virtual-time behaviour.
 func (k *Kernel) Run() error {
 	if k.depth == 0 {
 		k.stopped = false
+		k.migrated = false
+		k.curWorker = nil
+		return k.runTop()
 	}
+	// Nested re-entry (RunUntil from an event callback) always completes on
+	// the current kernel goroutine: inline dispatch is gated to depth 1, so
+	// a nested loop can never lose the kernel role.
 	k.depth++
 	defer k.exitRun()
-	for len(k.events) > 0 {
-		if k.stopped {
-			return ErrStopped
-		}
-		top := &k.events[0]
-		if k.limit > 0 && top.at > k.limit {
-			k.now = k.limit
+	var lc loopCtx
+	return k.loop(&lc)
+}
+
+// runTop drives a depth-1 run from the origin goroutine, handing off to a
+// worker-completed result if the kernel role migrates away.
+func (k *Kernel) runTop() error {
+	k.depth++
+	var lc loopCtx
+	err := func() (err error) {
+		defer func() {
+			if !lc.lost {
+				k.exitRun()
+			}
+		}()
+		return k.loop(&lc)
+	}()
+	if !lc.lost {
+		return err
+	}
+	// The role migrated: a worker goroutine is (or will be) finishing the
+	// run. Its finishRun does the exit bookkeeping and reports here.
+	res := <-k.runDone
+	if res.pan != nil {
+		panic(res.pan)
+	}
+	return res.err
+}
+
+// loop is the event loop body shared by all kernel goroutines. It returns
+// when the queue drains, the limit is hit, StopRun fires, or — lc.lost —
+// the kernel role migrated off this goroutine mid-event.
+func (k *Kernel) loop(lc *loopCtx) error {
+	prev := k.curLoop
+	k.curLoop = lc
+	for {
+		nh := len(k.events)
+		if k.nowq.Len() == 0 && nh == 0 {
+			k.curLoop = prev
 			return nil
 		}
-		k.now = top.at
-		ev := k.heapRemove(0)
-		fn := ev.fn
-		k.release(ev) // before fn so the callback can reuse the slot
+		if k.stopped {
+			k.curLoop = prev
+			return ErrStopped
+		}
+		useRing := k.nowq.Len() > 0
+		if useRing && nh > 0 {
+			// Ring entries sit at (now, seq); fire the heap front first if
+			// it sorts earlier (same instant, smaller seq).
+			if keyLess(k.events[0].hi, k.events[0].lo, packHi(k.now), k.nowq.Front().seq) {
+				useRing = false
+			}
+		}
+		var fn func()
+		if useRing {
+			fn = k.nowq.PopFront().fn
+		} else {
+			at := unpackAt(k.events[0].hi)
+			if k.limit > 0 && at > k.limit {
+				k.now = k.limit
+				k.curLoop = prev
+				return nil
+			}
+			k.now = at
+			ev := k.heapRemove(0)
+			fn = ev.fn
+			k.release(ev) // before fn so the callback can reuse the slot
+		}
 		k.executed++
 		fn()
+		if lc.lost {
+			// The kernel role left this goroutine during fn (a fiber
+			// demoted, or the first inline start migrated off the origin).
+			// The new kernel goroutine continues the run; do not restore
+			// curLoop — the new role holder owns it now.
+			return nil
+		}
 	}
-	return nil
 }
 
 func (k *Kernel) exitRun() {
@@ -323,8 +493,10 @@ func (k *Kernel) exitRun() {
 	}
 	// Retire pooled fiber runners at top-level exit: reuse amortizes the
 	// goroutine starts *within* a run (where the thousands of Spawns are),
-	// while a kernel dropped after Run leaks nothing.
+	// while a kernel dropped after Run leaks nothing. Parked kernel workers
+	// retire for the same reason.
 	k.drainFiberPool()
+	k.drainWorkerPool()
 	if k.executed != k.flushed {
 		totalEvents.Add(k.executed - k.flushed)
 		k.flushed = k.executed
@@ -346,12 +518,12 @@ func (k *Kernel) RunUntil(t Time) error {
 
 // Reset returns the kernel to the state NewKernel(seed) would produce
 // while keeping its allocated capacity: the event free list, the event
-// heap's backing array, and any parked fiber runners survive, so a pooled
-// kernel's next trial allocates (and starts goroutines) far less than a
-// fresh one. Still-queued events are cancelled into the free list and the
-// RNG is re-seeded, so simulation behaviour after Reset is byte-identical
-// to a fresh kernel's — event ordering depends only on (time, seq), and
-// both restart from zero.
+// heap's backing array, the same-instant ring, and pooled fiber structs
+// survive, so a pooled kernel's next trial allocates (and starts
+// goroutines) far less than a fresh one. Still-queued events are cancelled
+// into the free list and the RNG is re-seeded, so simulation behaviour
+// after Reset is byte-identical to a fresh kernel's — event ordering
+// depends only on (time, seq), and both restart from zero.
 //
 // Reset only applies between top-level runs: it reports false and leaves
 // the kernel untouched if called while running or with live fibers.
@@ -366,18 +538,21 @@ func (k *Kernel) Reset(seed uint64) bool {
 		k.events[i] = heapEntry{}
 	}
 	k.events = k.events[:0]
+	k.nowq.Reset()
 	if k.executed != k.flushed {
 		totalEvents.Add(k.executed - k.flushed)
 	}
 	k.now, k.seq = 0, 0
 	k.stopped, k.limit = false, 0
+	k.migrated, k.curWorker, k.handoff = false, nil, nil
 	k.executed, k.flushed, k.fiberStarts = 0, 0, 0
+	k.fastDispatches, k.slowDispatches = 0, 0
 	k.rng = NewRNG(seed)
 	return true
 }
 
-// Pending reports the number of queued events.
-func (k *Kernel) Pending() int { return len(k.events) }
+// Pending reports the number of queued events (heap and same-instant ring).
+func (k *Kernel) Pending() int { return len(k.events) + k.nowq.Len() }
 
 // FreeEvents reports the size of the event free list — recycled event
 // structs awaiting reuse. Leak tests compare it across runs.
@@ -394,5 +569,17 @@ func (k *Kernel) LiveFibers() int { return k.fibers }
 // FiberStarts reports how many runner goroutines this kernel has ever
 // created. With the fiber pool, spawning N fibers sequentially costs one
 // goroutine start, not N; the delta across a workload measures pool misses
-// (it grows only with peak fiber concurrency per top-level Run).
+// (it grows only with peak fiber concurrency per top-level Run). Fibers
+// dispatched inline (see fastpath.go) never create runners and so never
+// count here.
 func (k *Kernel) FiberStarts() int64 { return k.fiberStarts }
+
+// FastDispatches reports how many fiber bodies were started inline on the
+// kernel goroutine (the direct-dispatch fast path). Deterministic for a
+// fixed fast-path setting.
+func (k *Kernel) FastDispatches() int64 { return k.fastDispatches }
+
+// SlowDispatches reports how many rendezvous control transfers into a
+// fiber runner the kernel performed: classic starts, every resume of a
+// blocked fiber, and resumes of demoted fast-path fibers.
+func (k *Kernel) SlowDispatches() int64 { return k.slowDispatches }
