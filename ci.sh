@@ -83,6 +83,12 @@ go test ./internal/nvm -run='^$' -fuzz=FuzzDeviceReset -fuzztime=10s
 # it by name so a staleness failure is unmistakable in CI logs).
 go test ./cmd/hyperloop-bench -run TestBaselineMatchesSchema -count=1
 
+# Cross-protocol conformance: the suite iterates protocol.Names(), so every
+# registered replication protocol runs the same op/fault/Close/determinism
+# script, and TestProtocolRegistryComplete fails if a canonical protocol
+# drops out of the registry. Run by name for an unmistakable CI log line.
+go test ./internal/experiments -run 'TestProtocol' -count=1
+
 go build -o "$tmp/bench" ./cmd/hyperloop-bench
 go build -o "$tmp/benchdiff" ./cmd/benchdiff
 

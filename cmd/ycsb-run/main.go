@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	root "hyperloop"
 	"hyperloop/internal/docstore"
@@ -85,7 +86,7 @@ func run(args []string, out io.Writer) error {
 	var (
 		dbKind   = fs.String("db", "kv", "store under test: kv | doc")
 		workload = fs.String("workload", "A", "YCSB workload: A | B | D | E | F")
-		backend  = fs.String("backend", "hyperloop", "replication backend: hyperloop | naive-event | naive-polling | naive-pinned")
+		backend  = fs.String("backend", "hyperloop", "replication backend: hyperloop | naive-event | naive-polling | naive-pinned, or a registered protocol ("+strings.Join(root.Protocols(), " | ")+")")
 		records  = fs.Int("records", 200, "preloaded record count")
 		ops      = fs.Int("ops", 2000, "operation count")
 		valSize  = fs.Int("value", 1024, "value size in bytes")
@@ -199,6 +200,12 @@ func makeGroup(c *root.Cluster, backend string, mirror int) (interface {
 	case "naive-pinned":
 		return c.NewNaiveGroup(mirror, root.NaivePinned)
 	default:
-		return nil, fmt.Errorf("unknown backend %q", backend)
+		// Any registered replication protocol works as a backend; the
+		// legacy names above predate the protocol registry.
+		g, err := c.NewProtocolGroup(backend, mirror)
+		if err != nil {
+			return nil, fmt.Errorf("unknown backend %q: %v", backend, err)
+		}
+		return g, nil
 	}
 }

@@ -33,6 +33,7 @@ import (
 	hl "hyperloop/internal/hyperloop"
 	"hyperloop/internal/naive"
 	"hyperloop/internal/nvm"
+	"hyperloop/internal/protocol"
 	"hyperloop/internal/rdma"
 	"hyperloop/internal/sim"
 )
@@ -225,4 +226,50 @@ type FanoutGroup = hl.FanoutGroup
 // servers (server 0 is the primary).
 func (c *Cluster) NewFanoutGroup(mirrorSize int) (*FanoutGroup, error) {
 	return hl.SetupFanout(c.fabric, c.client, c.nics, hl.DefaultConfig(mirrorSize))
+}
+
+// BroadcastGroup is the quorum broadcast protocol: the client NIC fans
+// values to every replica and completes on a quorum of hardware acks.
+type BroadcastGroup = hl.BroadcastGroup
+
+// NewBroadcastGroup builds a broadcast replication group over the
+// cluster's servers; quorum 0 completes on all member acks.
+func (c *Cluster) NewBroadcastGroup(mirrorSize, quorum int) (*BroadcastGroup, error) {
+	cfg := hl.DefaultConfig(mirrorSize)
+	cfg.AckQuorum = quorum
+	return hl.SetupBroadcast(c.fabric, c.client, c.nics, cfg)
+}
+
+// Protocol is the replication-strategy interface every group implements;
+// see internal/protocol for the contract.
+type Protocol = protocol.Protocol
+
+// ProtocolParams is the policy half of a protocol build: mirror size,
+// window depth, timeout/retry, quorum.
+type ProtocolParams = protocol.Params
+
+// Protocols returns the names of all registered replication protocols,
+// sorted (chain, fanout, bcast, bcast-maj, naive, plus any registered by
+// downstream packages).
+func Protocols() []string { return protocol.Names() }
+
+// DescribeProtocol returns a protocol's one-line description ("" if
+// unknown).
+func DescribeProtocol(name string) string { return protocol.Describe(name) }
+
+// NewProtocolGroup builds the named replication protocol over the
+// cluster's servers with default policy.
+func (c *Cluster) NewProtocolGroup(name string, mirrorSize int) (Protocol, error) {
+	return c.NewProtocolGroupWithParams(name, protocol.Params{MirrorSize: mirrorSize})
+}
+
+// NewProtocolGroupWithParams builds the named protocol with full policy
+// control.
+func (c *Cluster) NewProtocolGroupWithParams(name string, p protocol.Params) (Protocol, error) {
+	return protocol.Build(name, protocol.Env{
+		Fabric:   c.fabric,
+		Client:   c.client,
+		Replicas: c.ReplicaNICs(),
+		Scheds:   c.Schedulers(),
+	}, p)
 }

@@ -11,6 +11,7 @@ import (
 	"hyperloop/internal/hyperloop"
 	"hyperloop/internal/metrics"
 	"hyperloop/internal/naive"
+	"hyperloop/internal/protocol"
 	"hyperloop/internal/rdma"
 	"hyperloop/internal/sim"
 	"hyperloop/internal/txn"
@@ -55,6 +56,7 @@ var (
 	_ groupAPI = (*hyperloop.Group)(nil)
 	_ groupAPI = (*naive.Group)(nil)
 	_ groupAPI = (*hyperloop.FanoutGroup)(nil)
+	_ groupAPI = (protocol.Protocol)(nil)
 )
 
 // clusterCfg describes one simulated deployment: a client machine plus
@@ -211,6 +213,61 @@ func newCluster(cfg clusterCfg) (*cluster, error) {
 
 // nics returns the replica NICs in member order.
 func (c *cluster) nics() []*rdma.NIC { return c.members }
+
+// newProtocolCluster builds the deployment with the named replication
+// protocol from the registry (chain, fanout, bcast, bcast-maj, naive, …)
+// instead of a Backend constant. The clusterCfg policy knobs (depth,
+// timeout/retry, faults) apply; backend-specific fields are ignored.
+func newProtocolCluster(cfg clusterCfg, name string) (*cluster, error) {
+	k := cfg.ar.kernel(cfg.seed)
+	fab := cfg.ar.fabric(k, rdma.DefaultConfig())
+	if cfg.faults != nil {
+		fab.InstallFaultPlan(cfg.faults)
+	}
+	client, err := fab.AddNIC("client", cfg.ar.device("client", devSize(cfg.mirror)))
+	if err != nil {
+		return nil, err
+	}
+	c := &cluster{k: k, fab: fab, client: client}
+	for i := 0; i < cfg.replicas; i++ {
+		host := fmt.Sprintf("server-%d", i)
+		nic, err := fab.AddNIC(host, cfg.ar.device(host, devSize(cfg.mirror)))
+		if err != nil {
+			return nil, err
+		}
+		c.members = append(c.members, nic)
+		sched, err := cpusim.New(k, cpusim.DefaultConfig(cfg.cores))
+		if err != nil {
+			return nil, err
+		}
+		sched.AddHogs(cfg.hogs)
+		if cfg.noise > 0 {
+			sched.AddNoise(cfg.noise, cfg.noiseBurst, cfg.noiseIdle)
+		}
+		if cfg.storms {
+			sched.AddStorms(2*cfg.cores, 200*sim.Millisecond, 4*sim.Millisecond)
+		}
+		c.scheds = append(c.scheds, sched)
+	}
+	g, err := protocol.Build(name, protocol.Env{
+		Fabric: fab, Client: client, Replicas: c.members, Scheds: c.scheds,
+	}, protocol.Params{
+		MirrorSize:   cfg.mirror,
+		Depth:        cfg.depth,
+		OpTimeout:    cfg.opTimeout,
+		MaxRetries:   cfg.maxRetries,
+		RetryBackoff: cfg.retryBackoff,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.group = g
+	c.replicaCPU = func() sim.Duration { return 0 }
+	if ng, ok := g.(*naive.Group); ok {
+		c.replicaCPU = ng.ReplicaHandlerCPU
+	}
+	return c, nil
+}
 
 // newFanoutCluster builds the same deployment with the fan-out topology.
 func newFanoutCluster(cfg clusterCfg) (*cluster, error) {

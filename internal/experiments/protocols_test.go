@@ -1,0 +1,287 @@
+package experiments
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"hyperloop/internal/protocol"
+	"hyperloop/internal/rdma"
+	"hyperloop/internal/sim"
+)
+
+// canonicalProtocols is every protocol this repository registers. The
+// conformance suite below iterates protocol.Names() dynamically, so a
+// newly registered protocol is tested automatically — this list only
+// guards against one silently disappearing from the registry.
+var canonicalProtocols = []string{"bcast", "bcast-maj", "chain", "fanout", "naive"}
+
+func TestProtocolRegistryComplete(t *testing.T) {
+	names := protocol.Names()
+	if len(names) != len(canonicalProtocols) {
+		t.Fatalf("registry has %v, conformance suite expects %v — update canonicalProtocols", names, canonicalProtocols)
+	}
+	for i, want := range canonicalProtocols {
+		if names[i] != want {
+			t.Fatalf("registry has %v, conformance suite expects %v", names, canonicalProtocols)
+		}
+		if protocol.Describe(want) == "" {
+			t.Fatalf("protocol %s has no description", want)
+		}
+	}
+	if _, err := protocol.Build("nope", protocol.Env{}, protocol.Params{}); err == nil {
+		t.Fatal("unknown protocol accepted")
+	}
+}
+
+// confCluster builds a 3-replica deployment running the named protocol,
+// outside the experiment worker pool (nil arena = everything fresh).
+func confCluster(t *testing.T, seed uint64, name string, cfg clusterCfg) *cluster {
+	t.Helper()
+	cfg.seed = seed
+	cfg.replicas = 3
+	cfg.mirror = 64 << 10
+	cfg.cores = 16
+	c, err := newProtocolCluster(cfg, name)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	return c
+}
+
+// drive runs fn as the sole driver fiber and fails the test if the
+// simulation deadlocks instead of reaching StopRun.
+func drive(t *testing.T, c *cluster, fn func(f *sim.Fiber) error) {
+	t.Helper()
+	var fnErr error
+	done := false
+	c.k.Spawn("conformance-driver", func(f *sim.Fiber) {
+		defer c.k.StopRun()
+		fnErr = fn(f)
+		done = true
+	})
+	if err := c.runToStop(60 * sim.Second); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if fnErr != nil {
+		t.Fatal(fnErr)
+	}
+	if !done {
+		t.Fatal("driver hung: simulation horizon elapsed before the script finished")
+	}
+}
+
+// TestProtocolConformance runs one op script — replicated writes, group
+// memcpy, group CAS, group flush — against every registered protocol and
+// checks the outcome is the same on all of them: client and every replica
+// mirror converge to identical bytes, CAS returns the original values,
+// and the issued/completed counters balance.
+func TestProtocolConformance(t *testing.T) {
+	for _, name := range protocol.Names() {
+		t.Run(name, func(t *testing.T) {
+			c := confCluster(t, 1, name, clusterCfg{})
+			g := c.group.(protocol.Protocol)
+			payload := bytes.Repeat([]byte("conform!"), 64) // 512 B
+			drive(t, c, func(f *sim.Fiber) error {
+				// Replicated durable writes at distinct offsets.
+				for i := 0; i < 8; i++ {
+					off := i * 1024
+					if err := g.WriteLocal(off, payload); err != nil {
+						return fmt.Errorf("WriteLocal %d: %w", i, err)
+					}
+					if err := g.Write(f, off, len(payload), true); err != nil {
+						return fmt.Errorf("Write %d: %w", i, err)
+					}
+				}
+				// Group memcpy: replicate a copy of block 0 into fresh space.
+				if err := g.Memcpy(f, 0, 16<<10, len(payload), true); err != nil {
+					return fmt.Errorf("Memcpy: %w", err)
+				}
+				// Group CAS on an 8-byte lock word, all members executing.
+				lockOff := 32 << 10
+				if err := g.WriteLocal(lockOff, make([]byte, 8)); err != nil {
+					return err
+				}
+				if err := g.Write(f, lockOff, 8, true); err != nil {
+					return fmt.Errorf("lock seed write: %w", err)
+				}
+				orig, err := g.CAS(f, lockOff, 0, 77, []bool{true, true, true})
+				if err != nil {
+					return fmt.Errorf("CAS: %w", err)
+				}
+				for i, v := range orig {
+					if v != 0 {
+						return fmt.Errorf("CAS member %d saw original %d, want 0", i, v)
+					}
+				}
+				// Group flush over everything written so far.
+				if err := g.Flush(f, 0, 34<<10); err != nil {
+					return fmt.Errorf("Flush: %w", err)
+				}
+				// Quorum protocols complete before the slowest member's
+				// apply; give stragglers time to drain before comparing.
+				f.Sleep(2 * sim.Millisecond)
+				return nil
+			})
+
+			if fl := g.InFlight(); fl != 0 {
+				t.Fatalf("%d ops still in flight after script", fl)
+			}
+			issued, completed := g.Stats()
+			if issued != completed || issued == 0 {
+				t.Fatalf("issued=%d completed=%d, want equal and nonzero", issued, completed)
+			}
+			// Every replica mirror must match the client's, byte for byte.
+			want, err := g.ReadLocal(0, 34<<10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := make([]byte, len(want))
+			for i, nic := range c.members {
+				if err := nic.Memory().Read(0, got); err != nil {
+					t.Fatalf("replica %d read: %v", i, err)
+				}
+				if !bytes.Equal(want, got) {
+					t.Fatalf("replica %d mirror diverges from client", i)
+				}
+			}
+			if got := want[32<<10]; got != 77 {
+				t.Fatalf("lock word = %d after CAS, want 77", got)
+			}
+			g.Close()
+		})
+	}
+}
+
+// TestProtocolConformanceUnderFaults crashes a replica NIC mid-script with
+// timeouts armed and requires every operation to resolve — success or a
+// canonical op error — with no hangs, on every protocol.
+func TestProtocolConformanceUnderFaults(t *testing.T) {
+	for _, name := range protocol.Names() {
+		t.Run(name, func(t *testing.T) {
+			c := confCluster(t, 1, name, clusterCfg{
+				opTimeout: 200 * sim.Microsecond, maxRetries: 1, retryBackoff: 50 * sim.Microsecond,
+				faults: &rdma.FaultPlan{
+					NICs: []rdma.NICFault{{Host: "server-1", At: sim.Time(0).Add(1 * sim.Millisecond), Down: true}},
+				},
+			})
+			g := c.group.(protocol.Protocol)
+			var ok, failed int
+			drive(t, c, func(f *sim.Fiber) error {
+				horizon := sim.Time(0).Add(3 * sim.Millisecond)
+				for i := 0; f.Now() < horizon; i++ {
+					err := g.Write(f, (i%16)*1024, 512, true)
+					switch {
+					case err == nil:
+						ok++
+					case protocol.IsOpError(err):
+						failed++
+						f.Sleep(100 * sim.Microsecond)
+					default:
+						return fmt.Errorf("op %d: non-op error %v", i, err)
+					}
+				}
+				return nil
+			})
+			if ok == 0 {
+				t.Fatal("no writes succeeded before the crash")
+			}
+			if fl := g.InFlight(); fl != 0 {
+				t.Fatalf("%d ops unresolved after the script — timeout leak", fl)
+			}
+			// bcast-maj tolerates one dead member; every all-member
+			// protocol must observe failures after the crash.
+			if name != "bcast-maj" && failed == 0 {
+				t.Fatalf("%s: crash produced no op failures (ok=%d)", name, ok)
+			}
+			if name == "bcast-maj" && failed != 0 {
+				t.Fatalf("bcast-maj: %d writes failed, want quorum to absorb the crash", failed)
+			}
+			g.Close()
+		})
+	}
+}
+
+// TestProtocolClose checks teardown semantics on every protocol: in-flight
+// operations fail with the canonical ErrClosed, later issues are rejected,
+// and Close is idempotent.
+func TestProtocolClose(t *testing.T) {
+	for _, name := range protocol.Names() {
+		t.Run(name, func(t *testing.T) {
+			c := confCluster(t, 1, name, clusterCfg{})
+			g := c.group.(protocol.Protocol)
+			drive(t, c, func(f *sim.Fiber) error {
+				sig, err := g.WriteAsync(0, 512, true)
+				if err != nil {
+					return fmt.Errorf("WriteAsync: %w", err)
+				}
+				g.Close()
+				if !sig.Fired() {
+					return errors.New("in-flight op signal not fired by Close")
+				}
+				if !errors.Is(sig.Err(), protocol.ErrClosed) {
+					return fmt.Errorf("in-flight op failed with %v, want ErrClosed", sig.Err())
+				}
+				if err := g.Write(f, 0, 512, true); !errors.Is(err, protocol.ErrClosed) {
+					return fmt.Errorf("post-Close write returned %v, want ErrClosed", err)
+				}
+				if _, err := g.WriteAsync(0, 512, true); !errors.Is(err, protocol.ErrClosed) {
+					return fmt.Errorf("post-Close async write returned %v, want ErrClosed", err)
+				}
+				g.Close() // idempotent
+				return nil
+			})
+			if fl := g.InFlight(); fl != 0 {
+				t.Fatalf("%d ops in flight after Close", fl)
+			}
+		})
+	}
+}
+
+// TestProtocolDeterminism runs the fault script twice per seed and
+// requires identical virtual-time fingerprints: executed events, fabric
+// messages/bytes/CQEs, and the op outcome tally.
+func TestProtocolDeterminism(t *testing.T) {
+	for _, name := range protocol.Names() {
+		t.Run(name, func(t *testing.T) {
+			for _, seed := range []uint64{1, 2, 42} {
+				fp := func() string {
+					c := confCluster(t, seed, name, clusterCfg{
+						opTimeout: 200 * sim.Microsecond, maxRetries: 1, retryBackoff: 50 * sim.Microsecond,
+						faults: &rdma.FaultPlan{
+							NICs: []rdma.NICFault{{Host: "server-1", At: sim.Time(0).Add(1 * sim.Millisecond), Down: true}},
+						},
+					})
+					g := c.group.(protocol.Protocol)
+					var ok, failed int
+					drive(t, c, func(f *sim.Fiber) error {
+						horizon := sim.Time(0).Add(3 * sim.Millisecond)
+						for i := 0; f.Now() < horizon; i++ {
+							err := g.Write(f, (i%16)*1024, 512, true)
+							switch {
+							case err == nil:
+								ok++
+							case protocol.IsOpError(err):
+								failed++
+								f.Sleep(100 * sim.Microsecond)
+							default:
+								return fmt.Errorf("op %d: %v", i, err)
+							}
+						}
+						return nil
+					})
+					msgs, wire := c.fab.Stats()
+					s := fmt.Sprintf("events=%d msgs=%d wire=%d cqes=%d ok=%d failed=%d now=%d",
+						c.k.Executed(), msgs, wire, c.fab.CQEs(), ok, failed, c.k.Now())
+					g.Close()
+					return s
+				}
+				a, b := fp(), fp()
+				if a != b {
+					t.Fatalf("seed %d not deterministic:\n  run1: %s\n  run2: %s", seed, a, b)
+				}
+			}
+		})
+	}
+}

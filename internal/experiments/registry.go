@@ -34,6 +34,7 @@ var registry = map[string]entry{
 	"abl-fanout":      {ablationFanout, "ablation: chain vs fan-out topology (§7)"},
 	"abl-consistency": {ablationConsistency, "ablation: weaker consistency models (§7)"},
 	"failover":        {failover, "mid-chain replica crash: detection, catch-up, resume (§5)"},
+	"protocols":       {protocolsExp, "replication protocol comparison: latency, message cost, availability"},
 }
 
 // Names returns all experiment ids, sorted.
@@ -82,6 +83,6 @@ func PaperOrder() []string {
 		"fig8a", "fig8b", "table2", "fig9", "fig10",
 		"fig11", "fig12",
 		"abl-load", "abl-flush", "abl-depth", "abl-fanout", "abl-consistency",
-		"failover",
+		"failover", "protocols",
 	}
 }

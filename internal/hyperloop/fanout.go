@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"hyperloop/internal/nvm"
+	"hyperloop/internal/protocol"
 	"hyperloop/internal/rdma"
 	"hyperloop/internal/sim"
 )
@@ -26,6 +27,7 @@ import (
 // Chain vs fan-out is the load-balance trade-off the paper discusses: the
 // chain keeps at most one active write QP per hop, while fan-out
 // concentrates G-1 of them (and all the data transmission) on the primary.
+// It implements protocol.Protocol (registered as "fanout").
 type FanoutGroup struct {
 	fab *rdma.Fabric
 	k   *sim.Kernel
@@ -41,11 +43,7 @@ type FanoutGroup struct {
 	primary *fanPrimary
 	backups []*fanBackup
 
-	nextSeq  uint64
-	inflight map[uint64]*pendingOp
-
-	opsIssued    int64
-	opsCompleted int64
+	trk *protocol.Tracker // window/seq/timeout/retry bookkeeping
 
 	ackBuf []byte // onAck decode scratch, reused across ACKs
 }
@@ -131,11 +129,12 @@ func SetupFanout(fab *rdma.Fabric, client *rdma.NIC, members []*rdma.NIC, cfg Co
 		cfg.ReArmDelay = 5 * sim.Microsecond
 	}
 	g := &FanoutGroup{
-		fab:      fab,
-		k:        fab.Kernel(),
-		cfg:      cfg,
-		client:   client,
-		inflight: make(map[uint64]*pendingOp),
+		fab:    fab,
+		k:      fab.Kernel(),
+		cfg:    cfg,
+		client: client,
+		trk: protocol.NewTracker(fab.Kernel(), cfg.Depth,
+			cfg.OpTimeout, cfg.MaxRetries, cfg.RetryBackoff, ErrTimeout, ErrClosed),
 	}
 	for i := 1; i < len(members); i++ {
 		g.backups = append(g.backups, &fanBackup{index: i})

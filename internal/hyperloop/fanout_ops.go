@@ -4,8 +4,8 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"hyperloop/internal/protocol"
 	"hyperloop/internal/rdma"
-	"hyperloop/internal/sim"
 )
 
 func (g *FanoutGroup) resultSlotAddr(seq uint64) uint64 {
@@ -173,7 +173,7 @@ func (g *FanoutGroup) installFanReArm() {
 			seq := p.completed
 			p.completed++
 			g.k.After(g.cfg.ReArmDelay, func() {
-				if p.nic.Down() {
+				if g.trk.Closed() || p.nic.Down() {
 					return
 				}
 				_ = g.armPrimary(seq + uint64(g.cfg.Depth))
@@ -187,7 +187,7 @@ func (g *FanoutGroup) installFanReArm() {
 				seq := b.completed
 				b.completed++
 				g.k.After(g.cfg.ReArmDelay, func() {
-					if b.nic.Down() {
+					if g.trk.Closed() || b.nic.Down() {
 						return
 					}
 					_ = g.armBackup(b, seq+uint64(g.cfg.Depth))
@@ -197,39 +197,41 @@ func (g *FanoutGroup) installFanReArm() {
 	}
 }
 
-// localBlock builds the patched L1/L2 descriptors for one member.
-func (g *FanoutGroup) localBlock(buf []byte, seq uint64, kind opKind, p opParams,
+// encodeLocalBlock builds the patched L1/L2 descriptors for one member of
+// a fan-out or broadcast group. memberIdx indexes p.Exec for gCAS;
+// resultAddr is where that member's CAS result lands.
+func encodeLocalBlock(buf []byte, seq uint64, kind opKind, p opParams,
 	mirrorRKey uint32, resultAddr uint64, memberIdx int) error {
 	l1 := rdma.WQE{Opcode: rdma.OpNop, Flags: rdma.FlagSignaled, WRID: seq}
 	switch {
-	case kind == kindCAS && p.exec[memberIdx]:
+	case kind == kindCAS && p.Exec[memberIdx]:
 		l1 = rdma.WQE{
 			Opcode: rdma.OpCAS, Flags: rdma.FlagSignaled, WRID: seq,
-			Local: resultAddr, Remote: uint64(p.off),
-			Compare: p.old, Swap: p.new, Aux1: mirrorRKey,
+			Local: resultAddr, Remote: uint64(p.Off),
+			Compare: p.Old, Swap: p.New, Aux1: mirrorRKey,
 		}
 	case kind == kindMemcpy:
 		l1 = rdma.WQE{
 			Opcode: rdma.OpMemcpy, Flags: rdma.FlagSignaled, WRID: seq,
-			Local: uint64(p.src), Len: uint64(p.size), Remote: uint64(p.dst),
+			Local: uint64(p.Src), Len: uint64(p.Size), Remote: uint64(p.Dst),
 		}
 	}
 	l2 := rdma.WQE{Opcode: rdma.OpNop, Flags: rdma.FlagSignaled, WRID: seq}
 	switch {
-	case kind == kindWrite && p.durable:
+	case kind == kindWrite && p.Durable:
 		l2 = rdma.WQE{
 			Opcode: rdma.OpFlush, Flags: rdma.FlagSignaled, WRID: seq,
-			Remote: uint64(p.off), Len: uint64(p.size), Aux1: mirrorRKey,
+			Remote: uint64(p.Off), Len: uint64(p.Size), Aux1: mirrorRKey,
 		}
-	case kind == kindMemcpy && p.durable:
+	case kind == kindMemcpy && p.Durable:
 		l2 = rdma.WQE{
 			Opcode: rdma.OpFlush, Flags: rdma.FlagSignaled, WRID: seq,
-			Remote: uint64(p.dst), Len: uint64(p.size), Aux1: mirrorRKey,
+			Remote: uint64(p.Dst), Len: uint64(p.Size), Aux1: mirrorRKey,
 		}
 	case kind == kindFlush:
 		l2 = rdma.WQE{
 			Opcode: rdma.OpFlush, Flags: rdma.FlagSignaled, WRID: seq,
-			Remote: uint64(p.off), Len: uint64(p.size), Aux1: mirrorRKey,
+			Remote: uint64(p.Off), Len: uint64(p.Size), Aux1: mirrorRKey,
 		}
 	}
 	if err := l1.EncodeDesc(buf); err != nil {
@@ -239,28 +241,30 @@ func (g *FanoutGroup) localBlock(buf []byte, seq uint64, kind opKind, p opParams
 }
 
 // issue builds and transmits one fan-out operation.
-func (g *FanoutGroup) issue(kind opKind, p opParams) (*pendingOp, error) {
-	if len(g.inflight) >= g.cfg.Depth-2 {
+func (g *FanoutGroup) issue(kind opKind, p opParams) (*protocol.Pending, error) {
+	if g.trk.Closed() {
+		return nil, ErrClosed
+	}
+	if !g.trk.HasWindow() {
 		return nil, ErrTooManyInFlight
 	}
-	if p.off < 0 || p.off+p.size > g.cfg.MirrorSize {
-		return nil, fmt.Errorf("%w: range [%d,+%d) outside mirror", ErrBadArgument, p.off, p.size)
+	if p.Off < 0 || p.Off+p.Size > g.cfg.MirrorSize {
+		return nil, fmt.Errorf("%w: range [%d,+%d) outside mirror", ErrBadArgument, p.Off, p.Size)
 	}
-	if kind == kindMemcpy && (p.src < 0 || p.src+p.size > g.cfg.MirrorSize ||
-		p.dst < 0 || p.dst+p.size > g.cfg.MirrorSize) {
+	if kind == kindMemcpy && (p.Src < 0 || p.Src+p.Size > g.cfg.MirrorSize ||
+		p.Dst < 0 || p.Dst+p.Size > g.cfg.MirrorSize) {
 		return nil, fmt.Errorf("%w: memcpy range outside mirror", ErrBadArgument)
 	}
-	if kind == kindCAS && len(p.exec) != g.GroupSize() {
+	if kind == kindCAS && len(p.Exec) != g.GroupSize() {
 		return nil, fmt.Errorf("%w: execute map must have %d entries", ErrBadArgument, g.GroupSize())
 	}
-	seq := g.nextSeq
-	g.nextSeq++
+	seq := g.trk.NextSeq()
 	b := g.numBackups()
 
 	msg := make([]byte, g.metaLen())
 	pos := 0
 	// Primary's local block; its CAS result lands at result slot index 0.
-	if err := g.localBlock(msg[pos:], seq, kind, p,
+	if err := encodeLocalBlock(msg[pos:], seq, kind, p,
 		g.primary.mirror.RKey, g.resultSlotAddr(seq), 0); err != nil {
 		return nil, err
 	}
@@ -271,8 +275,8 @@ func (g *FanoutGroup) issue(kind opKind, p opParams) (*pendingOp, error) {
 		if kind == kindWrite {
 			f1 = rdma.WQE{
 				Opcode: rdma.OpWrite, WRID: seq,
-				Local: uint64(p.off), Len: uint64(p.size),
-				Remote: uint64(p.off), Aux1: g.backups[j].mirror.RKey,
+				Local: uint64(p.Off), Len: uint64(p.Size),
+				Remote: uint64(p.Off), Aux1: g.backups[j].mirror.RKey,
 			}
 		}
 		f2 := rdma.WQE{
@@ -292,7 +296,7 @@ func (g *FanoutGroup) issue(kind opKind, p opParams) (*pendingOp, error) {
 	for j := 0; j < b; j++ {
 		bk := g.backups[j]
 		resultAddr := g.backupAckAddr(bk, seq) + headerSize
-		if err := g.localBlock(msg[pos:], seq, kind, p, bk.mirror.RKey, resultAddr, j+1); err != nil {
+		if err := encodeLocalBlock(msg[pos:], seq, kind, p, bk.mirror.RKey, resultAddr, j+1); err != nil {
 			return nil, err
 		}
 		hdr := msg[pos+2*rdma.DescLen:]
@@ -308,26 +312,17 @@ func (g *FanoutGroup) issue(kind opKind, p opParams) (*pendingOp, error) {
 		return nil, err
 	}
 
-	op := &pendingOp{kind: kind, sig: sim.NewSignal(), started: g.k.Now()}
-	g.inflight[seq] = op
-	if g.cfg.OpTimeout > 0 {
-		op.timer = g.k.After(g.cfg.OpTimeout, func() {
-			if _, ok := g.inflight[seq]; ok {
-				delete(g.inflight, seq)
-				op.sig.Fire(ErrTimeout)
-			}
-		})
-	}
+	op := g.trk.Track(seq, kind)
 
-	if err := g.applyLocally(kind, p); err != nil {
+	if err := protocol.ApplyLocal(g.client.Memory(), kind, p); err != nil {
 		return nil, err
 	}
 
 	if kind == kindWrite {
 		if _, err := g.qpHead.PostSend(rdma.WQE{
 			Opcode: rdma.OpWrite, WRID: seq,
-			Local: uint64(p.off), Len: uint64(p.size),
-			Remote: uint64(p.off), Aux1: g.primary.mirror.RKey,
+			Local: uint64(p.Off), Len: uint64(p.Size),
+			Remote: uint64(p.Off), Aux1: g.primary.mirror.RKey,
 		}); err != nil {
 			return nil, err
 		}
@@ -338,48 +333,8 @@ func (g *FanoutGroup) issue(kind opKind, p opParams) (*pendingOp, error) {
 	}); err != nil {
 		return nil, err
 	}
-	g.opsIssued++
+	g.trk.MarkIssued()
 	return op, nil
-}
-
-// applyLocally mirrors the operation on the client's own copy, exactly as
-// the chain group does.
-func (g *FanoutGroup) applyLocally(kind opKind, p opParams) error {
-	mem := g.client.Memory()
-	switch kind {
-	case kindWrite, kindFlush:
-		if p.durable || kind == kindFlush {
-			if _, err := mem.Flush(p.off, p.size); err != nil {
-				return err
-			}
-		}
-	case kindMemcpy:
-		data := make([]byte, p.size)
-		if err := mem.Read(p.src, data); err != nil {
-			return err
-		}
-		if err := mem.Write(p.dst, data); err != nil {
-			return err
-		}
-		if p.durable {
-			if _, err := mem.Flush(p.dst, p.size); err != nil {
-				return err
-			}
-		}
-	case kindCAS:
-		cur, err := mem.Slice(p.off, 8)
-		if err != nil {
-			return err
-		}
-		if binary.LittleEndian.Uint64(cur) == p.old {
-			var nb [8]byte
-			binary.LittleEndian.PutUint64(nb[:], p.new)
-			if err := mem.Write(p.off, nb[:]); err != nil {
-				return err
-			}
-		}
-	}
-	return nil
 }
 
 // onAck resolves a completed fan-out operation.
@@ -402,20 +357,15 @@ func (g *FanoutGroup) onAck(e rdma.CQE) {
 	}
 	n := 1 + g.numBackups()
 	seq := binary.LittleEndian.Uint64(buf[n*resultEntry:])
-	op, ok := g.inflight[seq]
-	if !ok {
+	op := g.trk.Complete(seq)
+	if op == nil {
 		return
 	}
-	delete(g.inflight, seq)
-	if op.timer != nil {
-		op.timer.Stop()
-	}
-	if op.kind == kindCAS {
-		op.results = make([]uint64, n)
+	if op.Kind == kindCAS {
+		op.Results = make([]uint64, n)
 		for j := 0; j < n; j++ {
-			op.results[j] = binary.LittleEndian.Uint64(buf[j*resultEntry:])
+			op.Results[j] = binary.LittleEndian.Uint64(buf[j*resultEntry:])
 		}
 	}
-	g.opsCompleted++
-	op.sig.Fire(nil)
+	op.Sig.Fire(nil)
 }

@@ -2,10 +2,10 @@ package hyperloop
 
 import (
 	"encoding/binary"
-	"errors"
 	"fmt"
 
 	"hyperloop/internal/nvm"
+	"hyperloop/internal/protocol"
 	"hyperloop/internal/rdma"
 	"hyperloop/internal/sim"
 )
@@ -34,6 +34,11 @@ type Config struct {
 	// RetryBackoff is the linear backoff between retries: attempt k
 	// sleeps k*RetryBackoff before re-issuing.
 	RetryBackoff sim.Duration
+	// AckQuorum applies to the broadcast protocol only: member acks
+	// required to complete a write/memcpy/flush (0 = all members). gCAS
+	// always waits for every member's ack, since it returns per-member
+	// results. The chain and fan-out groups ignore this field.
+	AckQuorum int
 }
 
 // DefaultConfig returns a config suitable for the benchmarks.
@@ -45,22 +50,23 @@ func DefaultConfig(mirrorSize int) Config {
 	}
 }
 
-// Errors returned by group operations.
+// Errors returned by group operations. Each wraps the corresponding
+// canonical sentinel in internal/protocol, so errors.Is matches either.
 var (
-	ErrTooManyInFlight = errors.New("hyperloop: operation window exceeded")
-	ErrTimeout         = errors.New("hyperloop: operation timed out")
-	ErrBadArgument     = errors.New("hyperloop: bad argument")
-	ErrClosed          = errors.New("hyperloop: group closed")
+	ErrTooManyInFlight = protocol.WrapErr("hyperloop: operation window exceeded", protocol.ErrTooManyInFlight)
+	ErrTimeout         = protocol.WrapErr("hyperloop: operation timed out", protocol.ErrTimeout)
+	ErrBadArgument     = protocol.WrapErr("hyperloop: bad argument", protocol.ErrBadArgument)
+	ErrClosed          = protocol.WrapErr("hyperloop: group closed", protocol.ErrClosed)
 )
 
-// opKind distinguishes the four primitives on the wire.
-type opKind uint32
+// opKind is the shared wire encoding of the four primitives.
+type opKind = protocol.OpKind
 
 const (
-	kindWrite opKind = iota + 1
-	kindCAS
-	kindMemcpy
-	kindFlush
+	kindWrite  = protocol.KindWrite
+	kindCAS    = protocol.KindCAS
+	kindMemcpy = protocol.KindMemcpy
+	kindFlush  = protocol.KindFlush
 )
 
 // replica holds one group member's NIC resources.
@@ -85,17 +91,9 @@ type replica struct {
 	completed uint64 // ops completed at this replica (re-arm trigger)
 }
 
-// pendingOp tracks a client-issued operation awaiting its group ACK.
-type pendingOp struct {
-	kind    opKind
-	sig     *sim.Signal
-	results []uint64
-	timer   *sim.Timer
-	started sim.Time
-}
-
 // Group is a HyperLoop replication group: one client (transaction
-// coordinator) chained through one or more replicas.
+// coordinator) chained through one or more replicas. It implements
+// protocol.Protocol (registered as "chain").
 type Group struct {
 	fab *rdma.Fabric
 	k   *sim.Kernel
@@ -110,15 +108,9 @@ type Group struct {
 	metaOff  uint64 // client-side metadata build buffers
 	replicas []*replica
 
-	nextSeq  uint64
-	inflight map[uint64]*pendingOp
+	trk      *protocol.Tracker      // window/seq/timeout/retry bookkeeping
 	reads    map[uint64]*sim.Signal // WRID → signal for one-sided reads
 	nextWRID uint64
-
-	opsIssued    int64
-	opsCompleted int64
-	retries      int64
-	closed       bool
 
 	ackBuf []byte // onAck decode scratch, reused across ACKs
 }
@@ -146,13 +138,14 @@ func Setup(fab *rdma.Fabric, client *rdma.NIC, replicas []*rdma.NIC, cfg Config)
 		cfg.ReArmDelay = 5 * sim.Microsecond
 	}
 	g := &Group{
-		fab:      fab,
-		k:        fab.Kernel(),
-		cfg:      cfg,
-		lay:      layout{groupSize: len(replicas), depth: cfg.Depth},
-		client:   client,
-		inflight: make(map[uint64]*pendingOp),
-		reads:    make(map[uint64]*sim.Signal),
+		fab:    fab,
+		k:      fab.Kernel(),
+		cfg:    cfg,
+		lay:    layout{groupSize: len(replicas), depth: cfg.Depth},
+		client: client,
+		trk: protocol.NewTracker(fab.Kernel(), cfg.Depth,
+			cfg.OpTimeout, cfg.MaxRetries, cfg.RetryBackoff, ErrTimeout, ErrClosed),
+		reads: make(map[uint64]*sim.Signal),
 	}
 	if err := g.setupClient(); err != nil {
 		return nil, err
@@ -332,17 +325,10 @@ func (g *Group) connect() {
 // traffic, re-read the rewritten ring slots, and steal the successor's
 // WAIT completions — its chains then stall forever on disowned WQEs.
 func (g *Group) Close() {
-	if g.closed {
+	if g.trk.Closed() {
 		return
 	}
-	g.closed = true
-	for seq, op := range g.inflight {
-		if op.timer != nil {
-			op.timer.Stop()
-		}
-		delete(g.inflight, seq)
-		op.sig.Fire(ErrClosed)
-	}
+	g.trk.Close()
 	for wrid, sig := range g.reads {
 		delete(g.reads, wrid)
 		sig.Fire(ErrClosed)
@@ -369,14 +355,14 @@ func (g *Group) ReplicaNIC(i int) *rdma.NIC { return g.replicas[i].nic }
 func (g *Group) ClientNIC() *rdma.NIC { return g.client }
 
 // Stats reports operations issued and completed.
-func (g *Group) Stats() (issued, completed int64) { return g.opsIssued, g.opsCompleted }
+func (g *Group) Stats() (issued, completed int64) { return g.trk.Stats() }
 
 // Retried reports how many timed-out operations were re-issued by the
 // blocking paths.
-func (g *Group) Retried() int64 { return g.retries }
+func (g *Group) Retried() int64 { return g.trk.Retried() }
 
 // InFlight returns the number of operations awaiting their group ACK.
-func (g *Group) InFlight() int { return len(g.inflight) }
+func (g *Group) InFlight() int { return g.trk.InFlight() }
 
 // onAck handles the tail's WRITE_WITH_IMM: it carries the op's result
 // block into the client's ACK buffer and its imm names the sequence.
@@ -399,22 +385,17 @@ func (g *Group) onAck(e rdma.CQE) {
 		return
 	}
 	seq := binary.LittleEndian.Uint64(buf[g.lay.resultsLen():])
-	op, ok := g.inflight[seq]
-	if !ok {
+	op := g.trk.Complete(seq)
+	if op == nil {
 		return // late ACK after timeout
 	}
-	delete(g.inflight, seq)
-	if op.timer != nil {
-		op.timer.Stop()
-	}
-	if op.kind == kindCAS {
-		op.results = make([]uint64, g.lay.groupSize)
+	if op.Kind == kindCAS {
+		op.Results = make([]uint64, g.lay.groupSize)
 		for j := 0; j < g.lay.groupSize; j++ {
-			op.results[j] = binary.LittleEndian.Uint64(buf[j*resultEntry:])
+			op.Results[j] = binary.LittleEndian.Uint64(buf[j*resultEntry:])
 		}
 	}
-	g.opsCompleted++
-	op.sig.Fire(nil)
+	op.Sig.Fire(nil)
 }
 
 // onClientSendCQEs resolves one-sided READs issued by the client.

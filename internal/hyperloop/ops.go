@@ -2,21 +2,16 @@ package hyperloop
 
 import (
 	"encoding/binary"
-	"errors"
 	"fmt"
 
+	"hyperloop/internal/protocol"
 	"hyperloop/internal/rdma"
 	"hyperloop/internal/sim"
 )
 
-// opParams carries one operation's arguments through metadata building.
-type opParams struct {
-	off, size int
-	src, dst  int
-	old, new  uint64
-	exec      []bool
-	durable   bool
-}
+// opParams carries one operation's arguments through metadata building —
+// the shared encoding from internal/protocol.
+type opParams = protocol.Op
 
 // stagingAddr returns replica r's staging slot address for seq.
 func (g *Group) stagingAddr(r *replica, seq uint64) uint64 {
@@ -37,36 +32,36 @@ func (g *Group) buildBlock(buf []byte, i int, seq uint64, kind opKind, p opParam
 
 	l1 := rdma.WQE{Opcode: rdma.OpNop, Flags: rdma.FlagSignaled, WRID: seq}
 	switch {
-	case kind == kindCAS && p.exec[i-1]:
+	case kind == kindCAS && p.Exec[i-1]:
 		resultAddr := g.stagingAddr(r, seq) + uint64(g.lay.resultOffsetInStaging(i, i))
 		l1 = rdma.WQE{
 			Opcode: rdma.OpCAS, Flags: rdma.FlagSignaled, WRID: seq,
-			Local: resultAddr, Remote: uint64(p.off),
-			Compare: p.old, Swap: p.new, Aux1: r.mirror.RKey,
+			Local: resultAddr, Remote: uint64(p.Off),
+			Compare: p.Old, Swap: p.New, Aux1: r.mirror.RKey,
 		}
 	case kind == kindMemcpy:
 		l1 = rdma.WQE{
 			Opcode: rdma.OpMemcpy, Flags: rdma.FlagSignaled, WRID: seq,
-			Local: uint64(p.src), Len: uint64(p.size), Remote: uint64(p.dst),
+			Local: uint64(p.Src), Len: uint64(p.Size), Remote: uint64(p.Dst),
 		}
 	}
 
 	l2 := rdma.WQE{Opcode: rdma.OpNop, Flags: rdma.FlagSignaled, WRID: seq}
 	switch {
-	case kind == kindWrite && p.durable:
+	case kind == kindWrite && p.Durable:
 		l2 = rdma.WQE{
 			Opcode: rdma.OpFlush, Flags: rdma.FlagSignaled, WRID: seq,
-			Remote: uint64(p.off), Len: uint64(p.size), Aux1: r.mirror.RKey,
+			Remote: uint64(p.Off), Len: uint64(p.Size), Aux1: r.mirror.RKey,
 		}
-	case kind == kindMemcpy && p.durable:
+	case kind == kindMemcpy && p.Durable:
 		l2 = rdma.WQE{
 			Opcode: rdma.OpFlush, Flags: rdma.FlagSignaled, WRID: seq,
-			Remote: uint64(p.dst), Len: uint64(p.size), Aux1: r.mirror.RKey,
+			Remote: uint64(p.Dst), Len: uint64(p.Size), Aux1: r.mirror.RKey,
 		}
 	case kind == kindFlush:
 		l2 = rdma.WQE{
 			Opcode: rdma.OpFlush, Flags: rdma.FlagSignaled, WRID: seq,
-			Remote: uint64(p.off), Len: uint64(p.size), Aux1: r.mirror.RKey,
+			Remote: uint64(p.Off), Len: uint64(p.Size), Aux1: r.mirror.RKey,
 		}
 	}
 
@@ -75,8 +70,8 @@ func (g *Group) buildBlock(buf []byte, i int, seq uint64, kind opKind, p opParam
 		next := g.replicas[i] // hop i+1 (0-based index i)
 		f1 = rdma.WQE{
 			Opcode: rdma.OpWrite, WRID: seq,
-			Local: uint64(p.off), Len: uint64(p.size),
-			Remote: uint64(p.off), Aux1: next.mirror.RKey,
+			Local: uint64(p.Off), Len: uint64(p.Size),
+			Remote: uint64(p.Off), Aux1: next.mirror.RKey,
 		}
 	}
 
@@ -103,26 +98,25 @@ func (g *Group) buildBlock(buf []byte, i int, seq uint64, kind opKind, p opParam
 }
 
 // issue builds and transmits one group operation, returning its pending
-// handle. The caller awaits p.sig.
-func (g *Group) issue(kind opKind, p opParams) (*pendingOp, error) {
-	if g.closed {
+// handle. The caller awaits op.Sig.
+func (g *Group) issue(kind opKind, p opParams) (*protocol.Pending, error) {
+	if g.trk.Closed() {
 		return nil, ErrClosed
 	}
-	if len(g.inflight) >= g.cfg.Depth-2 {
+	if !g.trk.HasWindow() {
 		return nil, ErrTooManyInFlight
 	}
-	if p.off < 0 || p.off+p.size > g.cfg.MirrorSize {
-		return nil, fmt.Errorf("%w: range [%d,+%d) outside mirror", ErrBadArgument, p.off, p.size)
+	if p.Off < 0 || p.Off+p.Size > g.cfg.MirrorSize {
+		return nil, fmt.Errorf("%w: range [%d,+%d) outside mirror", ErrBadArgument, p.Off, p.Size)
 	}
-	if kind == kindMemcpy && (p.src < 0 || p.src+p.size > g.cfg.MirrorSize ||
-		p.dst < 0 || p.dst+p.size > g.cfg.MirrorSize) {
+	if kind == kindMemcpy && (p.Src < 0 || p.Src+p.Size > g.cfg.MirrorSize ||
+		p.Dst < 0 || p.Dst+p.Size > g.cfg.MirrorSize) {
 		return nil, fmt.Errorf("%w: memcpy range outside mirror", ErrBadArgument)
 	}
-	if kind == kindCAS && len(p.exec) != g.lay.groupSize {
+	if kind == kindCAS && len(p.Exec) != g.lay.groupSize {
 		return nil, fmt.Errorf("%w: execute map must have %d entries", ErrBadArgument, g.lay.groupSize)
 	}
-	seq := g.nextSeq
-	g.nextSeq++
+	seq := g.trk.NextSeq()
 
 	// Build the full metadata message for hop 1.
 	msg := make([]byte, g.lay.metaLen(1))
@@ -140,52 +134,13 @@ func (g *Group) issue(kind opKind, p opParams) (*pendingOp, error) {
 		return nil, err
 	}
 
-	op := &pendingOp{kind: kind, sig: sim.NewSignal(), started: g.k.Now()}
-	g.inflight[seq] = op
-	if g.cfg.OpTimeout > 0 {
-		op.timer = g.k.After(g.cfg.OpTimeout, func() {
-			if _, ok := g.inflight[seq]; ok {
-				delete(g.inflight, seq)
-				op.sig.Fire(ErrTimeout)
-			}
-		})
-	}
+	op := g.trk.Track(seq, kind)
 
-	// Durability of the client's own copy is the client CPU's job.
-	if (kind == kindWrite || kind == kindFlush) && (p.durable || kind == kindFlush) {
-		if _, err := g.client.Memory().Flush(p.off, p.size); err != nil {
-			return nil, err
-		}
-	}
-	if kind == kindCAS {
-		// The client mirrors the operation on its own copy (§4.1: the
-		// client performs the memory operation in its own region and the
-		// replica NICs perform the same operation in theirs).
-		cur, err := g.client.Memory().Slice(p.off, 8)
-		if err != nil {
-			return nil, err
-		}
-		if binary.LittleEndian.Uint64(cur) == p.old {
-			var nb [8]byte
-			binary.LittleEndian.PutUint64(nb[:], p.new)
-			if err := g.client.Memory().Write(p.off, nb[:]); err != nil {
-				return nil, err
-			}
-		}
-	}
-	if kind == kindMemcpy {
-		data := make([]byte, p.size)
-		if err := g.client.Memory().Read(p.src, data); err != nil {
-			return nil, err
-		}
-		if err := g.client.Memory().Write(p.dst, data); err != nil {
-			return nil, err
-		}
-		if p.durable {
-			if _, err := g.client.Memory().Flush(p.dst, p.size); err != nil {
-				return nil, err
-			}
-		}
+	// The client mirrors the operation on its own copy (§4.1: the client
+	// performs the memory operation in its own region and the replica NICs
+	// perform the same operation in theirs).
+	if err := protocol.ApplyLocal(g.client.Memory(), kind, p); err != nil {
+		return nil, err
 	}
 
 	// Transmit: data WRITE first (gWRITE only), then the metadata SEND.
@@ -194,8 +149,8 @@ func (g *Group) issue(kind opKind, p opParams) (*pendingOp, error) {
 	if kind == kindWrite {
 		if _, err := g.qpHead.PostSend(rdma.WQE{
 			Opcode: rdma.OpWrite, WRID: seq,
-			Local: uint64(p.off), Len: uint64(p.size),
-			Remote: uint64(p.off), Aux1: g.replicas[0].mirror.RKey,
+			Local: uint64(p.Off), Len: uint64(p.Size),
+			Remote: uint64(p.Off), Aux1: g.replicas[0].mirror.RKey,
 		}); err != nil {
 			return nil, err
 		}
@@ -206,7 +161,7 @@ func (g *Group) issue(kind opKind, p opParams) (*pendingOp, error) {
 	}); err != nil {
 		return nil, err
 	}
-	g.opsIssued++
+	g.trk.MarkIssued()
 	return op, nil
 }
 
@@ -233,30 +188,18 @@ func (g *Group) ReadLocal(off, n int) ([]byte, error) {
 // (gWRITE), optionally flushing each replica's NVM (interleaved gFLUSH).
 // The returned signal fires when the tail's group ACK arrives.
 func (g *Group) WriteAsync(off, size int, durable bool) (*sim.Signal, error) {
-	op, err := g.issue(kindWrite, opParams{off: off, size: size, durable: durable})
+	op, err := g.issue(kindWrite, opParams{Off: off, Size: size, Durable: durable})
 	if err != nil {
 		return nil, err
 	}
-	return op.sig, nil
+	return op.Sig, nil
 }
 
-// retry runs an idempotent async issue function, awaiting its signal and
-// re-issuing on ErrTimeout up to MaxRetries extra attempts with linear
-// backoff. Only the blocking forms of idempotent primitives use it.
+// retry runs an idempotent async issue function through the shared
+// tracker: await, re-issue on ErrTimeout up to MaxRetries extra attempts
+// with linear backoff. Only blocking forms of idempotent primitives use it.
 func (g *Group) retry(f *sim.Fiber, issue func() (*sim.Signal, error)) error {
-	for attempt := 0; ; attempt++ {
-		sig, err := issue()
-		if err == nil {
-			err = f.Await(sig)
-		}
-		if err == nil || !errors.Is(err, ErrTimeout) || attempt >= g.cfg.MaxRetries {
-			return err
-		}
-		g.retries++
-		if g.cfg.RetryBackoff > 0 {
-			f.Sleep(g.cfg.RetryBackoff * sim.Duration(attempt+1))
-		}
-	}
+	return g.trk.Retry(f, issue)
 }
 
 // Write is the blocking form of WriteAsync. With MaxRetries > 0 a timed-out
@@ -270,11 +213,11 @@ func (g *Group) Write(f *sim.Fiber, off, size int, durable bool) error {
 // MemcpyAsync copies [src, src+size) to [dst, dst+size) locally on every
 // group member (gMEMCPY) — the NIC-offloaded log-execution step.
 func (g *Group) MemcpyAsync(src, dst, size int, durable bool) (*sim.Signal, error) {
-	op, err := g.issue(kindMemcpy, opParams{src: src, dst: dst, size: size, durable: durable})
+	op, err := g.issue(kindMemcpy, opParams{Src: src, Dst: dst, Size: size, Durable: durable})
 	if err != nil {
 		return nil, err
 	}
-	return op.sig, nil
+	return op.Sig, nil
 }
 
 // Memcpy is the blocking form of MemcpyAsync, with the same retry policy
@@ -290,23 +233,23 @@ func (g *Group) Memcpy(f *sim.Fiber, src, dst, size int, durable bool) error {
 // value observed at each replica. Entries for skipped replicas are the NOP
 // placeholder zero.
 func (g *Group) CAS(f *sim.Fiber, off int, old, new uint64, exec []bool) ([]uint64, error) {
-	op, err := g.issue(kindCAS, opParams{off: off, size: 8, old: old, new: new, exec: exec})
+	op, err := g.issue(kindCAS, opParams{Off: off, Size: 8, Old: old, New: new, Exec: exec})
 	if err != nil {
 		return nil, err
 	}
-	if err := f.Await(op.sig); err != nil {
+	if err := f.Await(op.Sig); err != nil {
 		return nil, err
 	}
-	return op.results, nil
+	return op.Results, nil
 }
 
 // FlushAsync makes [off, off+size) durable on every member (gFLUSH).
 func (g *Group) FlushAsync(off, size int) (*sim.Signal, error) {
-	op, err := g.issue(kindFlush, opParams{off: off, size: size})
+	op, err := g.issue(kindFlush, opParams{Off: off, Size: size})
 	if err != nil {
 		return nil, err
 	}
-	return op.sig, nil
+	return op.Sig, nil
 }
 
 // Flush is the blocking form of FlushAsync, with the same retry policy as
@@ -325,7 +268,7 @@ func (g *Group) ReadHead(f *sim.Fiber, remoteOff, localOff, size int) error {
 	if localOff < 0 || localOff+size > g.cfg.MirrorSize {
 		return fmt.Errorf("%w: read buffer outside mirror", ErrBadArgument)
 	}
-	if g.closed {
+	if g.trk.Closed() {
 		return ErrClosed
 	}
 	g.nextWRID++

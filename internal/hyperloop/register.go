@@ -1,0 +1,43 @@
+package hyperloop
+
+import "hyperloop/internal/protocol"
+
+// cfgFromParams translates the protocol-neutral policy knobs into this
+// package's Config; zero values keep each Setup's defaults.
+func cfgFromParams(p protocol.Params) Config {
+	return Config{
+		MirrorSize:   p.MirrorSize,
+		Depth:        p.Depth,
+		OpTimeout:    p.OpTimeout,
+		MaxRetries:   p.MaxRetries,
+		RetryBackoff: p.RetryBackoff,
+		AckQuorum:    p.Quorum,
+	}
+}
+
+func init() {
+	protocol.Register("chain",
+		"NIC-offloaded chain replication (HyperLoop §4): total order, minimal per-NIC load",
+		func(env protocol.Env, p protocol.Params) (protocol.Protocol, error) {
+			return Setup(env.Fabric, env.Client, env.Replicas, cfgFromParams(p))
+		})
+	protocol.Register("fanout",
+		"NIC-offloaded primary fan-out (HyperLoop §7): primary NIC coordinates backups in parallel",
+		func(env protocol.Env, p protocol.Params) (protocol.Protocol, error) {
+			return SetupFanout(env.Fabric, env.Client, env.Replicas, cfgFromParams(p))
+		})
+	protocol.Register("bcast",
+		"client NIC broadcast, completes on all member acks (Hermes-style strong mode)",
+		func(env protocol.Env, p protocol.Params) (protocol.Protocol, error) {
+			cfg := cfgFromParams(p)
+			cfg.AckQuorum = 0 // all members
+			return SetupBroadcast(env.Fabric, env.Client, env.Replicas, cfg)
+		})
+	protocol.Register("bcast-maj",
+		"client NIC broadcast, completes on a majority of member acks (ABD-style)",
+		func(env protocol.Env, p protocol.Params) (protocol.Protocol, error) {
+			cfg := cfgFromParams(p)
+			cfg.AckQuorum = len(env.Replicas)/2 + 1
+			return SetupBroadcast(env.Fabric, env.Client, env.Replicas, cfg)
+		})
+}

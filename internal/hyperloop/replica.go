@@ -75,7 +75,7 @@ func (g *Group) installReArm(r *replica) {
 			seq := r.completed
 			r.completed++
 			g.k.After(g.cfg.ReArmDelay, func() {
-				if g.closed || r.nic.Down() {
+				if g.trk.Closed() || r.nic.Down() {
 					return
 				}
 				_ = g.arm(r, seq+uint64(g.cfg.Depth))

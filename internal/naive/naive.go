@@ -1,26 +1,12 @@
-// Package naive implements the Naive-RDMA baseline of the HyperLoop paper
-// (§6, "Baseline RDMA implementation"): the same group primitives and chain
-// topology as package hyperloop, but with replica CPUs on the critical
-// path. Each replica runs a handler process in the cpusim scheduler that
-// receives, parses, executes and forwards every operation. Under
-// multi-tenant CPU load this is where the paper's tail latency comes from.
-//
-// Three replica modes mirror the paper's comparisons:
-//   - ModeEvent: the handler sleeps and is woken per completion event
-//     (interrupt-driven; pays scheduling delay per hop).
-//   - ModePolling: the handler busy-polls but shares cores with other
-//     tenants (the contended polling of Fig. 11).
-//   - ModePinned: the handler busy-polls on a dedicated core (best case;
-//     economically non-viable at scale, per §2.2).
 package naive
 
 import (
 	"encoding/binary"
-	"errors"
 	"fmt"
 
 	"hyperloop/internal/cpusim"
 	"hyperloop/internal/nvm"
+	"hyperloop/internal/protocol"
 	"hyperloop/internal/rdma"
 	"hyperloop/internal/sim"
 )
@@ -96,20 +82,23 @@ func DefaultConfig(mirrorSize int) Config {
 	}
 }
 
-// Errors returned by group operations.
+// Errors returned by group operations. Each wraps the canonical
+// protocol sentinel, so errors.Is matches either form.
 var (
-	ErrTooManyInFlight = errors.New("naive: operation window exceeded")
-	ErrTimeout         = errors.New("naive: operation timed out")
-	ErrBadArgument     = errors.New("naive: bad argument")
+	ErrTooManyInFlight = protocol.WrapErr("naive: operation window exceeded", protocol.ErrTooManyInFlight)
+	ErrTimeout         = protocol.WrapErr("naive: operation timed out", protocol.ErrTimeout)
+	ErrBadArgument     = protocol.WrapErr("naive: bad argument", protocol.ErrBadArgument)
+	ErrClosed          = protocol.WrapErr("naive: group closed", protocol.ErrClosed)
 )
 
-type opKind uint32
+// The op encoding on the wire is the shared protocol one.
+type opKind = protocol.OpKind
 
 const (
-	kindWrite opKind = iota + 1
-	kindCAS
-	kindMemcpy
-	kindFlush
+	kindWrite  = protocol.KindWrite
+	kindCAS    = protocol.KindCAS
+	kindMemcpy = protocol.KindMemcpy
+	kindFlush  = protocol.KindFlush
 )
 
 // Wire format: header (80 bytes) followed by the result map (8*G bytes).
@@ -180,14 +169,8 @@ type replica struct {
 	copyBuf []byte // memcpy bounce buffer
 }
 
-type pendingOp struct {
-	kind    opKind
-	sig     *sim.Signal
-	results []uint64
-	timer   *sim.Timer
-}
-
-// Group is the Naive-RDMA replication chain.
+// Group is the Naive-RDMA replication chain. It implements
+// protocol.Protocol (registered as "naive", in ModeEvent).
 type Group struct {
 	fab *rdma.Fabric
 	k   *sim.Kernel
@@ -202,12 +185,7 @@ type Group struct {
 	replicas []*replica
 
 	groupSize int
-	nextSeq   uint64
-	inflight  map[uint64]*pendingOp
-
-	opsIssued    int64
-	opsCompleted int64
-	retries      int64
+	trk       *protocol.Tracker // window/seq/timeout/retry bookkeeping
 
 	ackBuf []byte // onAck decode scratch, reused across ACKs
 }
@@ -242,7 +220,8 @@ func Setup(fab *rdma.Fabric, client *rdma.NIC, replicas []*rdma.NIC,
 		cfg:       cfg,
 		client:    client,
 		groupSize: len(replicas),
-		inflight:  make(map[uint64]*pendingOp),
+		trk: protocol.NewTracker(fab.Kernel(), cfg.Depth,
+			cfg.OpTimeout, cfg.MaxRetries, cfg.RetryBackoff, ErrTimeout, ErrClosed),
 	}
 	if err := g.setupClient(); err != nil {
 		return nil, err
@@ -540,20 +519,32 @@ func (g *Group) onAck(e rdma.CQE) {
 		return
 	}
 	h := decodeHeader(buf)
-	op, ok := g.inflight[h.seq]
-	if !ok {
+	op := g.trk.Complete(h.seq)
+	if op == nil {
 		return
 	}
-	delete(g.inflight, h.seq)
-	if op.timer != nil {
-		op.timer.Stop()
-	}
-	if op.kind == kindCAS {
-		op.results = make([]uint64, len(g.replicas))
+	if op.Kind == kindCAS {
+		op.Results = make([]uint64, len(g.replicas))
 		for j := range g.replicas {
-			op.results[j] = binary.LittleEndian.Uint64(buf[headerSize+j*8:])
+			op.Results[j] = binary.LittleEndian.Uint64(buf[headerSize+j*8:])
 		}
 	}
-	g.opsCompleted++
-	op.sig.Fire(nil)
+	op.Sig.Fire(nil)
+}
+
+// Close tears the chain down: in-flight operations fail with ErrClosed,
+// further issues are rejected, and the group's QPs are destroyed. The
+// replica handler processes stay registered with their schedulers but
+// receive no further work.
+func (g *Group) Close() {
+	if g.trk.Closed() {
+		return
+	}
+	g.trk.Close()
+	g.qpHead.Destroy()
+	g.qpAck.Destroy()
+	for _, r := range g.replicas {
+		r.qpPrev.Destroy()
+		r.qpNext.Destroy()
+	}
 }

@@ -1,18 +1,20 @@
 package naive
 
 import (
-	"encoding/binary"
-	"errors"
 	"fmt"
 
+	"hyperloop/internal/protocol"
 	"hyperloop/internal/rdma"
 	"hyperloop/internal/sim"
 )
 
 // issue transmits one operation down the chain: optional data WRITE, then
 // the metadata SEND that wakes the first replica's handler process.
-func (g *Group) issue(kind opKind, h opHeader) (*pendingOp, error) {
-	if len(g.inflight) >= g.cfg.Depth-2 {
+func (g *Group) issue(kind opKind, h opHeader) (*protocol.Pending, error) {
+	if g.trk.Closed() {
+		return nil, ErrClosed
+	}
+	if !g.trk.HasWindow() {
 		return nil, ErrTooManyInFlight
 	}
 	if int(h.off) < 0 || int(h.off+h.size) > g.cfg.MirrorSize {
@@ -21,8 +23,7 @@ func (g *Group) issue(kind opKind, h opHeader) (*pendingOp, error) {
 	if kind == kindMemcpy && (int(h.src+h.size) > g.cfg.MirrorSize || int(h.dst+h.size) > g.cfg.MirrorSize) {
 		return nil, fmt.Errorf("%w: memcpy range outside mirror", ErrBadArgument)
 	}
-	seq := g.nextSeq
-	g.nextSeq++
+	seq := g.trk.NextSeq()
 	h.seq = seq
 	h.kind = kind
 
@@ -33,51 +34,15 @@ func (g *Group) issue(kind opKind, h opHeader) (*pendingOp, error) {
 		return nil, err
 	}
 
-	op := &pendingOp{kind: kind, sig: sim.NewSignal()}
-	g.inflight[seq] = op
-	if g.cfg.OpTimeout > 0 {
-		op.timer = g.k.After(g.cfg.OpTimeout, func() {
-			if _, ok := g.inflight[seq]; ok {
-				delete(g.inflight, seq)
-				op.sig.Fire(ErrTimeout)
-			}
-		})
-	}
+	op := g.trk.Track(seq, kind)
 
 	// Mirror the operation on the client's own copy (same semantics as
 	// package hyperloop, so the two backends are interchangeable).
-	switch kind {
-	case kindWrite, kindFlush:
-		if h.durable || kind == kindFlush {
-			if _, err := g.client.Memory().Flush(int(h.off), int(h.size)); err != nil {
-				return nil, err
-			}
-		}
-	case kindMemcpy:
-		data := make([]byte, h.size)
-		if err := g.client.Memory().Read(int(h.src), data); err != nil {
-			return nil, err
-		}
-		if err := g.client.Memory().Write(int(h.dst), data); err != nil {
-			return nil, err
-		}
-		if h.durable {
-			if _, err := g.client.Memory().Flush(int(h.dst), int(h.size)); err != nil {
-				return nil, err
-			}
-		}
-	case kindCAS:
-		cur, err := g.client.Memory().Slice(int(h.off), 8)
-		if err != nil {
-			return nil, err
-		}
-		if binary.LittleEndian.Uint64(cur) == h.old {
-			var nb [8]byte
-			binary.LittleEndian.PutUint64(nb[:], h.swp)
-			if err := g.client.Memory().Write(int(h.off), nb[:]); err != nil {
-				return nil, err
-			}
-		}
+	if err := protocol.ApplyLocal(g.client.Memory(), kind, protocol.Op{
+		Off: int(h.off), Size: int(h.size), Src: int(h.src), Dst: int(h.dst),
+		Old: h.old, New: h.swp, Durable: h.durable,
+	}); err != nil {
+		return nil, err
 	}
 
 	if kind == kindWrite {
@@ -94,7 +59,7 @@ func (g *Group) issue(kind opKind, h opHeader) (*pendingOp, error) {
 	}); err != nil {
 		return nil, err
 	}
-	g.opsIssued++
+	g.trk.MarkIssued()
 	return op, nil
 }
 
@@ -108,14 +73,14 @@ func (g *Group) ReplicaNIC(i int) *rdma.NIC { return g.replicas[i].nic }
 func (g *Group) ClientNIC() *rdma.NIC { return g.client }
 
 // Stats reports operations issued and completed.
-func (g *Group) Stats() (issued, completed int64) { return g.opsIssued, g.opsCompleted }
+func (g *Group) Stats() (issued, completed int64) { return g.trk.Stats() }
 
 // Retried reports how many timed-out operations were re-issued by the
 // blocking paths.
-func (g *Group) Retried() int64 { return g.retries }
+func (g *Group) Retried() int64 { return g.trk.Retried() }
 
 // InFlight returns operations awaiting their ACK.
-func (g *Group) InFlight() int { return len(g.inflight) }
+func (g *Group) InFlight() int { return g.trk.InFlight() }
 
 // WriteLocal stores data into the client's mirror.
 func (g *Group) WriteLocal(off int, data []byte) error {
@@ -141,26 +106,14 @@ func (g *Group) WriteAsync(off, size int, durable bool) (*sim.Signal, error) {
 	if err != nil {
 		return nil, err
 	}
-	return op.sig, nil
+	return op.Sig, nil
 }
 
 // retry runs an idempotent async issue function, awaiting its signal and
 // re-issuing on ErrTimeout up to MaxRetries extra attempts with linear
 // backoff. Only the blocking forms of idempotent primitives use it.
 func (g *Group) retry(f *sim.Fiber, issue func() (*sim.Signal, error)) error {
-	for attempt := 0; ; attempt++ {
-		sig, err := issue()
-		if err == nil {
-			err = f.Await(sig)
-		}
-		if err == nil || !errors.Is(err, ErrTimeout) || attempt >= g.cfg.MaxRetries {
-			return err
-		}
-		g.retries++
-		if g.cfg.RetryBackoff > 0 {
-			f.Sleep(g.cfg.RetryBackoff * sim.Duration(attempt+1))
-		}
-	}
+	return g.trk.Retry(f, issue)
 }
 
 // Write is the blocking form of WriteAsync. With MaxRetries > 0 a timed-out
@@ -179,7 +132,7 @@ func (g *Group) MemcpyAsync(src, dst, size int, durable bool) (*sim.Signal, erro
 	if err != nil {
 		return nil, err
 	}
-	return op.sig, nil
+	return op.Sig, nil
 }
 
 // Memcpy is the blocking form of MemcpyAsync, with the same retry policy
@@ -205,10 +158,10 @@ func (g *Group) CAS(f *sim.Fiber, off int, old, new uint64, exec []bool) ([]uint
 	if err != nil {
 		return nil, err
 	}
-	if err := f.Await(op.sig); err != nil {
+	if err := f.Await(op.Sig); err != nil {
 		return nil, err
 	}
-	return op.results, nil
+	return op.Results, nil
 }
 
 // FlushAsync makes [off, off+size) durable on every member.
@@ -217,7 +170,7 @@ func (g *Group) FlushAsync(off, size int) (*sim.Signal, error) {
 	if err != nil {
 		return nil, err
 	}
-	return op.sig, nil
+	return op.Sig, nil
 }
 
 // Flush is the blocking form of FlushAsync, with the same retry policy as

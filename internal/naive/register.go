@@ -1,0 +1,25 @@
+package naive
+
+import (
+	"fmt"
+
+	"hyperloop/internal/protocol"
+)
+
+func init() {
+	protocol.Register("naive",
+		"chain replication with replica CPUs on the critical path (§6 baseline, event mode)",
+		func(env protocol.Env, p protocol.Params) (protocol.Protocol, error) {
+			if len(env.Scheds) != len(env.Replicas) {
+				return nil, fmt.Errorf("%w: naive protocol needs one CPU scheduler per replica", ErrBadArgument)
+			}
+			cfg := DefaultConfig(p.MirrorSize)
+			if p.Depth > 0 {
+				cfg.Depth = p.Depth
+			}
+			cfg.OpTimeout = p.OpTimeout
+			cfg.MaxRetries = p.MaxRetries
+			cfg.RetryBackoff = p.RetryBackoff
+			return Setup(env.Fabric, env.Client, env.Replicas, env.Scheds, cfg)
+		})
+}

@@ -1,0 +1,44 @@
+// Package protocol defines the pluggable replication-strategy contract
+// shared by every group datapath in this repository.
+//
+// A replication protocol takes the same inputs — one client NIC, a set of
+// replica NICs on a common fabric, and a mirrored memory region of
+// MirrorSize bytes at device offset 0 on every member — and provides the
+// same group primitives: gWRITE, gCAS, gMEMCPY and gFLUSH, each in async
+// (Signal-returning) and blocking (Fiber-taking) form, plus local mirror
+// access, lifecycle (Close) and accounting (Stats, InFlight, Retried).
+// What differs per protocol is the dataflow between doorbell and
+// completion:
+//
+//   - chain ("chain", internal/hyperloop.Group): the paper's §4 topology.
+//     The op hops replica to replica through pre-posted WAIT-gated WQE
+//     chains; the tail's WRITE_WITH_IMM is the group ACK. Total order,
+//     2(G+1) messages per replicated write, but a single slow or dead hop
+//     stalls the whole group.
+//   - fan-out ("fanout", internal/hyperloop.FanoutGroup): the §7
+//     extension. A primary NIC coordinates all backups in parallel and
+//     aggregates their acks in hardware via absolute WAIT thresholds.
+//   - broadcast ("bcast"/"bcast-maj", internal/hyperloop.BroadcastGroup):
+//     ABD/Hermes-style. The client NIC fans value + metadata directly to
+//     every replica and completes on a quorum of acks — all replicas for
+//     "bcast" (Hermes-style strong mode), a majority for "bcast-maj"
+//     (ABD-style, stays available across a minority of replica crashes).
+//   - naive ("naive", internal/naive.Group): the §6 baseline — the chain
+//     topology with replica CPUs on the critical path.
+//
+// Implementations register a Builder under a protocol name in their
+// package init; Build constructs one over an Env (the cluster resources)
+// and Params (mirror size, window depth, timeout/retry policy). Note the
+// registry is populated by importing the implementing packages — callers
+// that construct protocols by name must import internal/hyperloop and
+// internal/naive (the root hyperloop package and internal/experiments
+// both do).
+//
+// The package also hosts the client-side bookkeeping every protocol
+// shares and that used to be duplicated per datapath: the Tracker
+// (sequence numbers, in-flight window, per-op timeout timers, retry
+// accounting, fail-all-on-Close) and ApplyLocal (mirroring an op on the
+// client's own copy, §4.1). Canonical sentinel errors live here too;
+// per-package errors wrap them via WrapErr so errors.Is matches across
+// protocols while each package keeps its historical error strings.
+package protocol
