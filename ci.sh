@@ -3,14 +3,18 @@
 # the race detector over the two-level scheduler and the simulation/RDMA
 # hot paths, coverage floors on the pooling-critical packages, short fuzz
 # runs over the WQE decoder and device reset, a determinism golden across
-# a seed matrix (serial vs overlapped vs fast-path-off), and the bench
+# a seed matrix (serial vs overlapped vs fast-path-off), the bench
 # regression gate — strict virtual-time fields plus an events_per_sec
-# tolerance band — against the committed BENCH_baseline.json.
+# tolerance band — against the committed BENCH_baseline.json, and the
+# hypothesis catalog: every claim-validating scenario must pass at seeds
+# 1/2/42 with reproducible counters, match the committed
+# HYPO_baseline.json, and regenerate the committed FINDINGS.md evidence.
 #
 #   ./ci.sh                    run the full pipeline
-#   ./ci.sh -update-baseline   regenerate BENCH_baseline.json (serial,
-#                              -procs 1) instead of diffing against it;
-#                              commit the result (see EXPERIMENTS.md)
+#   ./ci.sh -update-baseline   regenerate BENCH_baseline.json,
+#                              HYPO_baseline.json and hypotheses/ instead
+#                              of diffing against them; commit the result
+#                              (see EXPERIMENTS.md)
 set -eux
 
 update_baseline=0
@@ -60,7 +64,9 @@ go test ./...
 go test -race -timeout 20m ./internal/experiments ./internal/sim ./internal/rdma ./internal/cpusim
 
 # Coverage floors. nvm's dirty-range reset and ring's log are what device
-# pooling leans on for correctness, so their suites must stay thorough.
+# pooling leans on for correctness, so their suites must stay thorough;
+# the hypothesis catalog is the claim-validation surface, so its checks
+# and findings rendering must stay exercised.
 covercheck() {
     pkg=$1 floor=$2
     go test -coverprofile "$tmp/cover.out" "$pkg"
@@ -72,16 +78,24 @@ covercheck() {
 }
 covercheck ./internal/nvm 90
 covercheck ./internal/ring 90
+covercheck ./internal/hypotheses 85
 
 # Short fuzz runs: arbitrary 64-byte WQE slots through a live send ring,
-# and arbitrary workloads through Device.Reset-equals-fresh.
+# arbitrary workloads through Device.Reset-equals-fresh, and arbitrary
+# fault schedules through FaultPlan.Validate (accepted plans must then
+# survive installation on a live fabric).
 go test ./internal/rdma -run='^$' -fuzz=FuzzWQEDecode -fuzztime=10s
 go test ./internal/nvm -run='^$' -fuzz=FuzzDeviceReset -fuzztime=10s
+go test ./internal/rdma -run='^$' -fuzz=FuzzFaultPlanValidate -fuzztime=10s
 
 # BENCH_baseline.json must decode against the current -json schema and cover
 # the current experiment registry (also part of `go test ./...` above; run
-# it by name so a staleness failure is unmistakable in CI logs).
+# it by name so a staleness failure is unmistakable in CI logs). Same bar
+# for the hypothesis catalog: HYPO_baseline.json must match the CLI schema
+# and catalog order, and the committed hypotheses/<id>/FINDINGS.md
+# artifacts must match a fresh seed-1 regeneration byte for byte.
 go test ./cmd/hyperloop-bench -run TestBaselineMatchesSchema -count=1
+go test ./cmd/hypothesis-run -run 'TestBaselineMatchesSchema|TestCommittedFindingsMatch' -count=1
 
 # Cross-protocol conformance: the suite iterates protocol.Names(), so every
 # registered replication protocol runs the same op/fault/Close/determinism
@@ -91,6 +105,7 @@ go test ./internal/experiments -run 'TestProtocol' -count=1
 
 go build -o "$tmp/bench" ./cmd/hyperloop-bench
 go build -o "$tmp/benchdiff" ./cmd/benchdiff
+go build -o "$tmp/hyporun" ./cmd/hypothesis-run
 
 if [ "$update_baseline" = 1 ]; then
     # The committed baseline is always generated serially: -procs 1 is the
@@ -98,7 +113,12 @@ if [ "$update_baseline" = 1 ]; then
     "$tmp/bench" -exp all -scale quick -seed 1 -procs 1 -json BENCH_baseline.json \
         > "$artifacts/bench-quick.txt"
     cp BENCH_baseline.json "$artifacts/bench-quick.json"
-    echo "BENCH_baseline.json regenerated; review and commit it" >&2
+    # The hypothesis baseline and the committed FINDINGS.md evidence
+    # regenerate together so they can never drift apart.
+    "$tmp/hyporun" -run all -scale quick -seed 1 \
+        -json HYPO_baseline.json -findings hypotheses > "$artifacts/hypo-quick.txt"
+    cp HYPO_baseline.json "$artifacts/hypo-quick.json"
+    echo "BENCH_baseline.json, HYPO_baseline.json and hypotheses/ regenerated; review and commit" >&2
     exit 0
 fi
 
@@ -117,6 +137,17 @@ for seed in 1 2 42; do
     diff -u "$tmp/serial.norm" "$tmp/fastoff.norm"
 done
 
+# Hypothesis catalog: every claim must hold (exit 0) at each matrix seed,
+# and a repeat run at the same seed must reproduce every strict
+# virtual-time counter exactly. benchdiff does the strict comparison;
+# -eps-tolerance 0 disables its wall-clock throughput band, which is
+# meaningless between two back-to-back runs.
+for seed in 1 2 42; do
+    "$tmp/hyporun" -run all -scale quick -seed "$seed" -json "$tmp/hypo-a.json" > /dev/null
+    "$tmp/hyporun" -run all -scale quick -seed "$seed" -json "$tmp/hypo-b.json" > /dev/null
+    "$tmp/benchdiff" -eps-tolerance 0 "$tmp/hypo-a.json" "$tmp/hypo-b.json"
+done
+
 # Bench regression gate: an overlapped quick run must match the committed
 # serial baseline on every strict (virtual-time) field — report text,
 # sim_events, cqes, messages, wire_bytes, demand-side pool counters — and
@@ -128,3 +159,17 @@ done
 "$tmp/bench" -exp all -scale quick -seed 1 -procs 0 -json "$artifacts/bench-quick.json" \
     > "$artifacts/bench-quick.txt"
 "$tmp/benchdiff" -csv "$artifacts/bench-quick.csv" BENCH_baseline.json "$artifacts/bench-quick.json"
+
+# Hypothesis regression gate: a fresh seed-1 quick run must match the
+# committed HYPO_baseline.json on every strict field — the embedded
+# findings text (checks, tables, verdicts) and the virtual-time counters.
+# The scenarios are short, so the wall-clock throughput band is all noise;
+# the strict fields are the gate. Regenerated FINDINGS.md evidence lands
+# in the artifacts dir and must match the committed hypotheses/ tree.
+# On an intentional behaviour change, run `./ci.sh -update-baseline`.
+"$tmp/hyporun" -run all -scale quick -seed 1 \
+    -json "$artifacts/hypo-quick.json" -findings "$artifacts/hypotheses" \
+    > "$artifacts/hypo-quick.txt"
+"$tmp/benchdiff" -eps-tolerance 0 -csv "$artifacts/hypo-quick.csv" \
+    HYPO_baseline.json "$artifacts/hypo-quick.json"
+diff -ru hypotheses "$artifacts/hypotheses"

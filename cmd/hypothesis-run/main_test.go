@@ -1,0 +1,192 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"hyperloop/internal/hypotheses"
+)
+
+func TestListFlag(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatalf("-list: %v", err)
+	}
+}
+
+func TestUnknownScale(t *testing.T) {
+	if err := run([]string{"-scale", "huge"}); err == nil {
+		t.Fatal("unknown scale accepted")
+	}
+}
+
+func TestUnknownScenario(t *testing.T) {
+	if err := run([]string{"-run", "no-such-claim"}); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}
+
+func TestRunSingleScenarioJSONAndFindings(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "hypo.json")
+	fdir := filepath.Join(dir, "findings")
+	if err := run([]string{"-run", "multi-failure", "-seed", "7", "-json", path, "-findings", fdir}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read json: %v", err)
+	}
+	var rep benchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if rep.Seed != 7 || len(rep.Experiments) != 1 || rep.Experiments[0].ID != "multi-failure" {
+		t.Fatalf("report = %+v, want one multi-failure entry at seed 7", rep)
+	}
+	e := rep.Experiments[0]
+	if e.SimEvents <= 0 || e.CQEs <= 0 || e.Messages <= 0 || e.WireBytes <= 0 {
+		t.Fatalf("counters not populated: %+v", e)
+	}
+	if !strings.Contains(e.Report, "Verdict: VALIDATED") {
+		t.Fatalf("findings not embedded in -json entry:\n%s", e.Report)
+	}
+	md, err := os.ReadFile(filepath.Join(fdir, "multi-failure", "FINDINGS.md"))
+	if err != nil {
+		t.Fatalf("findings artifact: %v", err)
+	}
+	if string(md) != e.Report {
+		t.Fatal("FINDINGS.md differs from the -json report text")
+	}
+}
+
+// TestCountersDeterministic reruns one scenario via the CLI and demands
+// byte-identical strict fields — the property the HYPO baseline gate pins.
+func TestCountersDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	strip := func(path string) benchReport {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var r benchReport
+		if err := json.Unmarshal(data, &r); err != nil {
+			t.Fatal(err)
+		}
+		for i := range r.Experiments {
+			r.Experiments[i].WallMS = 0
+			r.Experiments[i].EventsPerSec = 0
+		}
+		r.TotalWallMS = 0
+		return r
+	}
+	a := filepath.Join(dir, "a.json")
+	b := filepath.Join(dir, "b.json")
+	if err := run([]string{"-run", "flush-storm", "-seed", "42", "-json", a}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-run", "flush-storm", "-seed", "42", "-json", b}); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(strip(a), strip(b)) {
+		t.Fatal("strict fields differ across identical CLI runs")
+	}
+}
+
+// jsonKeys returns the sorted key set of a JSON object.
+func jsonKeys(t *testing.T, raw []byte) []string {
+	t.Helper()
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatalf("not a JSON object: %v", err)
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// TestBaselineMatchesSchema fails when the committed HYPO_baseline.json has
+// gone stale relative to the -json schema or the scenario catalog.
+// Refresh with:
+//
+//	go run ./cmd/hypothesis-run -run all -scale quick -seed 1 -json HYPO_baseline.json
+func TestBaselineMatchesSchema(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("..", "..", "HYPO_baseline.json"))
+	if err != nil {
+		t.Fatalf("read committed baseline: %v", err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var rep benchReport
+	if err := dec.Decode(&rep); err != nil {
+		t.Fatalf("HYPO_baseline.json no longer decodes against benchReport — regenerate it: %v", err)
+	}
+	if len(rep.Experiments) == 0 {
+		t.Fatal("baseline has no scenarios")
+	}
+	remarshal, err := json.Marshal(&rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := jsonKeys(t, data), jsonKeys(t, remarshal); !reflect.DeepEqual(got, want) {
+		t.Fatalf("baseline top-level fields %v, schema has %v — regenerate it", got, want)
+	}
+	var fileExps, schemaExps struct {
+		Experiments []json.RawMessage `json:"experiments"`
+	}
+	if err := json.Unmarshal(data, &fileExps); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(remarshal, &schemaExps); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := jsonKeys(t, fileExps.Experiments[0]), jsonKeys(t, schemaExps.Experiments[0]); !reflect.DeepEqual(got, want) {
+		t.Fatalf("baseline scenario fields %v, schema has %v — regenerate it", got, want)
+	}
+	// The scenario list must match the catalog order exactly.
+	var ids []string
+	for _, e := range rep.Experiments {
+		ids = append(ids, e.ID)
+	}
+	if want := hypotheses.CatalogOrder(); !reflect.DeepEqual(ids, want) {
+		t.Fatalf("baseline covers %v\ncatalog has  %v — regenerate it", ids, want)
+	}
+	if rep.Scale != "quick" || rep.Seed != 1 {
+		t.Fatalf("baseline must be -scale quick -seed 1, got scale=%q seed=%d", rep.Scale, rep.Seed)
+	}
+	for _, e := range rep.Experiments {
+		if e.WallMS <= 0 || e.SimEvents <= 0 || !strings.Contains(e.Report, "Verdict: VALIDATED") {
+			t.Fatalf("scenario %s has empty or refuted stats: %+v", e.ID, e)
+		}
+	}
+}
+
+// TestCommittedFindingsMatch regenerates every scenario at the baseline
+// seed and demands the committed hypotheses/<id>/FINDINGS.md artifacts
+// match byte for byte — the same staleness bar the baseline JSON gets.
+func TestCommittedFindingsMatch(t *testing.T) {
+	for _, id := range hypotheses.CatalogOrder() {
+		r, err := hypotheses.Run(id, 1, hypotheses.Quick)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		path := filepath.Join("..", "..", "hypotheses", id, "FINDINGS.md")
+		committed, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: committed findings missing — regenerate with "+
+				"`go run ./cmd/hypothesis-run -run all -findings hypotheses`: %v", id, err)
+		}
+		if string(committed) != r.Findings() {
+			t.Errorf("%s: committed FINDINGS.md is stale — regenerate with "+
+				"`go run ./cmd/hypothesis-run -run all -findings hypotheses`", id)
+		}
+	}
+}

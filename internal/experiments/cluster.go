@@ -132,7 +132,9 @@ func newCluster(cfg clusterCfg) (*cluster, error) {
 	k := cfg.ar.kernel(cfg.seed)
 	fab := cfg.ar.fabric(k, rdma.DefaultConfig())
 	if cfg.faults != nil {
-		fab.InstallFaultPlan(cfg.faults)
+		if err := fab.InstallFaultPlan(cfg.faults); err != nil {
+			return nil, err
+		}
 	}
 	client, err := fab.AddNIC("client", cfg.ar.device("client", devSize(cfg.mirror)))
 	if err != nil {
@@ -222,7 +224,9 @@ func newProtocolCluster(cfg clusterCfg, name string) (*cluster, error) {
 	k := cfg.ar.kernel(cfg.seed)
 	fab := cfg.ar.fabric(k, rdma.DefaultConfig())
 	if cfg.faults != nil {
-		fab.InstallFaultPlan(cfg.faults)
+		if err := fab.InstallFaultPlan(cfg.faults); err != nil {
+			return nil, err
+		}
 	}
 	client, err := fab.AddNIC("client", cfg.ar.device("client", devSize(cfg.mirror)))
 	if err != nil {

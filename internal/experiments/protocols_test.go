@@ -285,3 +285,161 @@ func TestProtocolDeterminism(t *testing.T) {
 		})
 	}
 }
+
+// TestProtocolFlushUnderFault is the durability half of the conformance
+// bar: with a member crashing and restarting mid-script, every gFLUSH the
+// client saw acknowledged must survive a subsequent power loss of all
+// member devices on at least AcksNeeded(name) of them. A flush that "acks"
+// while the crash leaves fewer live copies than the protocol's contract
+// promises is a durability-contract violation, not a timing artifact.
+func TestProtocolFlushUnderFault(t *testing.T) {
+	const (
+		ops     = 60
+		opSize  = 64
+		downAt  = 500 * sim.Microsecond
+		upAgain = 900 * sim.Microsecond
+	)
+	for _, name := range protocol.Names() {
+		t.Run(name, func(t *testing.T) {
+			c := confCluster(t, 1, name, clusterCfg{
+				opTimeout: 100 * sim.Microsecond, maxRetries: 1, retryBackoff: 25 * sim.Microsecond,
+				faults: &rdma.FaultPlan{
+					NICs: []rdma.NICFault{
+						{Host: "server-1", At: sim.Time(0).Add(downAt), Down: true},
+						{Host: "server-1", At: sim.Time(0).Add(upAgain), Down: false},
+					},
+				},
+			})
+			g := c.group.(protocol.Protocol)
+			payload := func(i int) []byte {
+				b := make([]byte, opSize)
+				for j := range b {
+					b[j] = byte(i>>8) ^ byte(i+j) ^ 0xA5
+				}
+				return b
+			}
+			acked := make([]bool, ops)
+			var failed int
+			drive(t, c, func(f *sim.Fiber) error {
+				for i := 0; i < ops; i++ {
+					off := i * opSize
+					if err := g.WriteLocal(off, payload(i)); err != nil {
+						return err
+					}
+					err := g.Write(f, off, opSize, false)
+					if err == nil {
+						err = g.Flush(f, off, opSize)
+					}
+					switch {
+					case err == nil:
+						acked[i] = true
+					case protocol.IsOpError(err):
+						failed++
+					default:
+						return fmt.Errorf("op %d: %w", i, err)
+					}
+					// Pace the script across the whole crash/restart window
+					// so some ops land while the member is down.
+					f.Sleep(20 * sim.Microsecond)
+				}
+				return nil
+			})
+			if fl := g.InFlight(); fl != 0 {
+				t.Fatalf("%d ops unresolved after the script", fl)
+			}
+			g.Close()
+			for _, m := range c.members {
+				m.Memory().Crash()
+			}
+			need := protocol.AcksNeeded(name, len(c.members))
+			ackedN := 0
+			buf := make([]byte, opSize)
+			for i := 0; i < ops; i++ {
+				if !acked[i] {
+					continue
+				}
+				ackedN++
+				copies := 0
+				for _, m := range c.members {
+					if err := m.Memory().ReadDurable(i*opSize, buf); err != nil {
+						t.Fatal(err)
+					}
+					if bytes.Equal(buf, payload(i)) {
+						copies++
+					}
+				}
+				if copies < need {
+					t.Fatalf("acked flush %d durable on %d members, contract promises %d", i, copies, need)
+				}
+			}
+			if ackedN == 0 {
+				t.Fatal("no flush was ever acknowledged; durability contract untested")
+			}
+			if name != "bcast-maj" && failed == 0 {
+				t.Fatalf("%s: outage window produced no failures (acked=%d)", name, ackedN)
+			}
+		})
+	}
+}
+
+// TestProtocolCASNeverRetriedUnderTimeout pins the non-idempotence rule on
+// every protocol: gCAS is never re-issued by the client library, even when
+// it times out against a crashed member — a blind retry could observe its
+// own first attempt's swap and report a false conflict. The write path's
+// retry counter is exercised first so a silently dead counter cannot pass
+// the test.
+func TestProtocolCASNeverRetriedUnderTimeout(t *testing.T) {
+	for _, name := range protocol.Names() {
+		t.Run(name, func(t *testing.T) {
+			c := confCluster(t, 1, name, clusterCfg{
+				opTimeout: 100 * sim.Microsecond, maxRetries: 2, retryBackoff: 25 * sim.Microsecond,
+				faults: &rdma.FaultPlan{
+					NICs: []rdma.NICFault{{Host: "server-1", At: sim.Time(0).Add(300 * sim.Microsecond), Down: true}},
+				},
+			})
+			g := c.group.(protocol.Protocol)
+			exec := []bool{true, true, true}
+			drive(t, c, func(f *sim.Fiber) error {
+				// Seed the lock word while the group is healthy.
+				if err := g.WriteLocal(0, make([]byte, 8)); err != nil {
+					return err
+				}
+				if err := g.Write(f, 0, 8, true); err != nil {
+					return fmt.Errorf("seed write: %w", err)
+				}
+				// Drive writes through the crash until the retry machinery
+				// has provably fired (quorum protocols absorb the crash and
+				// never retry — that is their contract, move on).
+				deadline := f.Now().Add(2 * sim.Millisecond)
+				for g.Retried() == 0 && name != "bcast-maj" {
+					if f.Now() > deadline {
+						return fmt.Errorf("no write retry observed by %v", f.Now())
+					}
+					err := g.Write(f, 1024, 512, true)
+					if err != nil && !protocol.IsOpError(err) {
+						return err
+					}
+					f.Sleep(50 * sim.Microsecond)
+				}
+				base := g.Retried()
+				// CAS into the outage: each attempt must resolve — success
+				// or op error — without ever bumping the retry counter.
+				for i := 0; i < 8; i++ {
+					_, err := g.CAS(f, 0, uint64(i), uint64(i+1), exec)
+					if err != nil && !protocol.IsOpError(err) {
+						return fmt.Errorf("CAS %d: %w", i, err)
+					}
+					if got := g.Retried(); got != base {
+						return fmt.Errorf("CAS %d: retry counter moved %d -> %d; gCAS must never be re-issued", i, base, got)
+					}
+					f.Sleep(50 * sim.Microsecond)
+				}
+				return nil
+			})
+			if fl := g.InFlight(); fl != 0 {
+				t.Fatalf("%d ops unresolved after the script", fl)
+			}
+			g.Close()
+		})
+	}
+}

@@ -87,6 +87,10 @@ type bcastAckState struct {
 	posted  int // members the op was actually sent to
 	got     int
 	results []uint64 // per-member CAS results, filled as acks arrive
+	// seen dedups votes per member: under fault-induced chain shifts a
+	// member can emit a stale ack carrying a seq it already acked, and a
+	// quorum must count distinct members, not distinct messages.
+	seen []bool
 }
 
 // SetupBroadcast builds a broadcast group over the given member NICs.
@@ -350,10 +354,7 @@ func (g *BroadcastGroup) installBcastReArm() {
 			for range batch {
 				seq := m.completed
 				m.completed++
-				g.k.After(g.cfg.ReArmDelay, func() {
-					if g.trk.Closed() || m.nic.Down() {
-						return
-					}
+				reArmAfter(g.k, g.trk, m.nic, g.cfg.ReArmDelay, func() {
 					_ = g.armMember(m, seq+uint64(g.cfg.Depth))
 				})
 			}
@@ -413,7 +414,7 @@ func (g *BroadcastGroup) issue(kind opKind, p opParams) (*protocol.Pending, erro
 	if need == 0 || kind == kindCAS {
 		need = n // gCAS needs every member's original value
 	}
-	st := &bcastAckState{need: need, results: make([]uint64, n)}
+	st := &bcastAckState{need: need, results: make([]uint64, n), seen: make([]bool, n)}
 	g.acks[seq] = st
 	for j, m := range g.members {
 		if m.nic.Down() {
@@ -460,9 +461,10 @@ func (g *BroadcastGroup) onMemberAck(j int, e rdma.CQE) {
 	}
 	seq := binary.LittleEndian.Uint64(buf)
 	st, ok := g.acks[seq]
-	if !ok {
+	if !ok || st.seen[j] {
 		return
 	}
+	st.seen[j] = true
 	st.results[j] = binary.LittleEndian.Uint64(buf[headerSize:])
 	st.got++
 	if st.got >= st.posted {

@@ -172,10 +172,7 @@ func (g *FanoutGroup) installFanReArm() {
 		for range batch {
 			seq := p.completed
 			p.completed++
-			g.k.After(g.cfg.ReArmDelay, func() {
-				if g.trk.Closed() || p.nic.Down() {
-					return
-				}
+			reArmAfter(g.k, g.trk, p.nic, g.cfg.ReArmDelay, func() {
 				_ = g.armPrimary(seq + uint64(g.cfg.Depth))
 			})
 		}
@@ -186,10 +183,7 @@ func (g *FanoutGroup) installFanReArm() {
 			for range batch {
 				seq := b.completed
 				b.completed++
-				g.k.After(g.cfg.ReArmDelay, func() {
-					if g.trk.Closed() || b.nic.Down() {
-						return
-					}
+				reArmAfter(g.k, g.trk, b.nic, g.cfg.ReArmDelay, func() {
 					_ = g.armBackup(b, seq+uint64(g.cfg.Depth))
 				})
 			}

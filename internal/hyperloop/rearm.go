@@ -1,0 +1,28 @@
+package hyperloop
+
+import (
+	"hyperloop/internal/protocol"
+	"hyperloop/internal/rdma"
+	"hyperloop/internal/sim"
+)
+
+// reArmAfter schedules one off-critical-path chain re-arm. A down NIC
+// defers the re-arm instead of dropping it: a NIC outage doesn't kill the
+// member host, whose control path keeps retrying its replenishment until
+// the link returns. Dropping the re-arm would permanently shrink the
+// pre-posted window — enough crash/restart cycles and the group wedges
+// with every receive slot gone.
+func reArmAfter(k *sim.Kernel, trk *protocol.Tracker, nic *rdma.NIC, d sim.Duration, arm func()) {
+	var fn func()
+	fn = func() {
+		if trk.Closed() {
+			return
+		}
+		if nic.Down() {
+			k.After(d, fn)
+			return
+		}
+		arm()
+	}
+	k.After(d, fn)
+}

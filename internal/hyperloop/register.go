@@ -40,4 +40,9 @@ func init() {
 			cfg.AckQuorum = len(env.Replicas)/2 + 1
 			return SetupBroadcast(env.Fabric, env.Client, env.Replicas, cfg)
 		})
+	// A majority-quorum write is only guaranteed on floor(G/2)+1 members;
+	// every other protocol here completes on all members' acks.
+	protocol.SetTraits("bcast-maj", protocol.Traits{
+		AcksNeeded: func(g int) int { return g/2 + 1 },
+	})
 }

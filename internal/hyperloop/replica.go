@@ -74,10 +74,7 @@ func (g *Group) installReArm(r *replica) {
 		for range batch {
 			seq := r.completed
 			r.completed++
-			g.k.After(g.cfg.ReArmDelay, func() {
-				if g.trk.Closed() || r.nic.Down() {
-					return
-				}
+			reArmAfter(g.k, g.trk, r.nic, g.cfg.ReArmDelay, func() {
 				_ = g.arm(r, seq+uint64(g.cfg.Depth))
 			})
 		}

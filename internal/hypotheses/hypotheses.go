@@ -1,0 +1,234 @@
+// Package hypotheses is the claim-validating scenario catalog: each entry
+// states one falsifiable claim the paper or this reproduction makes about
+// fault handling or durability, runs a deterministic simulated scenario
+// that could refute it, and renders the evidence as a FINDINGS.md
+// artifact. Scenarios mirror the experiments registry (same id → run-fn
+// shape) but return pass/fail checks instead of paper figures: an
+// experiment regenerates a number, a hypothesis defends a sentence.
+//
+// Every scenario is virtual-time deterministic — its counters and its
+// rendered findings are byte-identical for a given (seed, scale) — so the
+// catalog doubles as a regression gate: cmd/hypothesis-run emits the
+// counters in the benchmark-report schema and ci.sh diffs them against a
+// committed baseline.
+package hypotheses
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hyperloop/internal/metrics"
+)
+
+// Scale selects run sizes: Quick for tests and the CI gate, Full for
+// paper-grade sample counts.
+type Scale int
+
+// Scales.
+const (
+	Quick Scale = iota + 1
+	Full
+)
+
+func (s Scale) pick(quick, full int) int {
+	if s == Full {
+		return full
+	}
+	return quick
+}
+
+// String names the scale for reports and CLI flags.
+func (s Scale) String() string {
+	if s == Full {
+		return "full"
+	}
+	return "quick"
+}
+
+// ParseScale maps a CLI flag value to a Scale.
+func ParseScale(s string) (Scale, error) {
+	switch s {
+	case "quick":
+		return Quick, nil
+	case "full":
+		return Full, nil
+	}
+	return 0, fmt.Errorf("hypotheses: unknown scale %q (want quick or full)", s)
+}
+
+// Check is one falsifiable assertion a scenario made against its claim,
+// with the observation that decided it.
+type Check struct {
+	Name     string
+	Pass     bool
+	Observed string
+}
+
+// Counters are the deterministic totals a scenario accumulated across all
+// of its deployments. They are virtual-time exact: any code change that
+// moves an event shows up here before it shows up in a latency table.
+type Counters struct {
+	SimEvents int64
+	CQEs      int64
+	Messages  int64
+	WireBytes int64
+	Drops     int64
+	Dups      int64
+}
+
+func (c Counters) add(o Counters) Counters {
+	return Counters{
+		SimEvents: c.SimEvents + o.SimEvents,
+		CQEs:      c.CQEs + o.CQEs,
+		Messages:  c.Messages + o.Messages,
+		WireBytes: c.WireBytes + o.WireBytes,
+		Drops:     c.Drops + o.Drops,
+		Dups:      c.Dups + o.Dups,
+	}
+}
+
+// Result is one scenario run's evidence: the checks that validate or
+// refute the claim, the data tables behind them, and the deterministic
+// counters the CI baseline pins.
+type Result struct {
+	ID       string
+	Claim    string
+	Checks   []Check
+	Tables   []*metrics.Table
+	Notes    []string
+	Counters Counters
+}
+
+// check records one assertion and its observation.
+func (r *Result) check(name string, pass bool, format string, a ...any) {
+	r.Checks = append(r.Checks, Check{Name: name, Pass: pass, Observed: fmt.Sprintf(format, a...)})
+}
+
+// Passed reports whether every check held.
+func (r *Result) Passed() bool {
+	for _, c := range r.Checks {
+		if !c.Pass {
+			return false
+		}
+	}
+	return true
+}
+
+// Findings renders the run as a deterministic markdown artifact: same
+// (seed, scale) → byte-identical output. It never includes wall-clock
+// values, so CI can diff a regenerated artifact against the committed one.
+func (r *Result) Findings() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# Hypothesis: %s\n\n", r.ID)
+	fmt.Fprintf(&b, "**Claim.** %s\n\n", r.Claim)
+	passed := 0
+	for _, c := range r.Checks {
+		if c.Pass {
+			passed++
+		}
+	}
+	verdict := "VALIDATED"
+	if passed != len(r.Checks) {
+		verdict = "REFUTED"
+	}
+	fmt.Fprintf(&b, "**Verdict: %s** — %d/%d checks passed.\n\n", verdict, passed, len(r.Checks))
+	b.WriteString("## Checks\n\n| check | result | observed |\n|---|---|---|\n")
+	for _, c := range r.Checks {
+		res := "pass"
+		if !c.Pass {
+			res = "**FAIL**"
+		}
+		fmt.Fprintf(&b, "| %s | %s | %s |\n", c.Name, res, c.Observed)
+	}
+	if len(r.Tables) > 0 {
+		b.WriteString("\n## Data\n")
+		for _, t := range r.Tables {
+			b.WriteString("\n```\n")
+			b.WriteString(t.String())
+			b.WriteString("```\n")
+		}
+	}
+	if len(r.Notes) > 0 {
+		b.WriteString("\n## Notes\n\n")
+		for _, n := range r.Notes {
+			fmt.Fprintf(&b, "- %s\n", n)
+		}
+	}
+	b.WriteString("\n## Deterministic counters\n\n| counter | value |\n|---|---|\n")
+	c := r.Counters
+	fmt.Fprintf(&b, "| sim_events | %d |\n", c.SimEvents)
+	fmt.Fprintf(&b, "| cqes | %d |\n", c.CQEs)
+	fmt.Fprintf(&b, "| messages | %d |\n", c.Messages)
+	fmt.Fprintf(&b, "| wire_bytes | %d |\n", c.WireBytes)
+	fmt.Fprintf(&b, "| drops | %d |\n", c.Drops)
+	fmt.Fprintf(&b, "| dups | %d |\n", c.Dups)
+	return b.String()
+}
+
+// runFn runs a scenario and returns its evidence. A non-nil error means
+// the scenario infrastructure broke (a build failure, a hung driver) — a
+// refuted claim is NOT an error, it is a Result whose checks failed.
+type runFn func(seed uint64, sc Scale) (*Result, error)
+
+type entry struct {
+	claim string
+	desc  string
+	fn    runFn
+}
+
+var registry = map[string]entry{}
+
+// register installs a scenario under id; scenario files call it from init.
+// A duplicate id panics — it is a wiring bug, same as the experiments and
+// protocol registries.
+func register(id, claim, desc string, fn runFn) {
+	if _, dup := registry[id]; dup {
+		panic(fmt.Sprintf("hypotheses: duplicate registration of %q", id))
+	}
+	registry[id] = entry{claim: claim, desc: desc, fn: fn}
+}
+
+// Names returns all registered scenario ids, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CatalogOrder returns the ids in presentation order: cheap wire-level
+// claims first, the recovery and durability scenarios after, the CPU
+// scheduling claim last.
+func CatalogOrder() []string {
+	return []string{
+		"retry-vs-loss",
+		"multi-failure",
+		"partition-failover",
+		"flush-storm",
+		"tenant-interference",
+	}
+}
+
+// Describe returns a scenario's one-line description ("" if unknown).
+func Describe(id string) string { return registry[id].desc }
+
+// Claim returns the falsifiable claim a scenario defends ("" if unknown).
+func Claim(id string) string { return registry[id].claim }
+
+// Run executes one scenario.
+func Run(id string, seed uint64, sc Scale) (*Result, error) {
+	e, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("hypotheses: unknown scenario %q (have %v)", id, Names())
+	}
+	r, err := e.fn(seed, sc)
+	if err != nil {
+		return nil, fmt.Errorf("hypotheses: %s: %w", id, err)
+	}
+	r.ID = id
+	r.Claim = e.claim
+	return r, nil
+}

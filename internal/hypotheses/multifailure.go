@@ -1,0 +1,118 @@
+package hypotheses
+
+import (
+	"fmt"
+
+	"hyperloop/internal/metrics"
+	"hyperloop/internal/protocol"
+	"hyperloop/internal/rdma"
+	"hyperloop/internal/sim"
+)
+
+func init() {
+	register("multi-failure",
+		"Concurrent failures never hang a blocking client: when the client NIC "+
+			"and a replica NIC crash within the same in-flight window, every op "+
+			"still resolves within its timeout and nothing is left in flight. "+
+			"After both NICs restart, protocols whose armed state lives on the "+
+			"surviving members carry writes again — while the chain, whose "+
+			"head-side forwarding state died with the client NIC, stays down "+
+			"until explicitly reconfigured (the partition-failover scenario "+
+			"exercises exactly that repair).",
+		"crash client + replica NICs ~50µs apart mid-run, restart both, per protocol",
+		runMultiFailure)
+}
+
+// Multi-failure schedule: the client NIC dies first, a replica follows one
+// op-timeout later (so ops are failing for both reasons at once), and both
+// restart inside the run.
+const (
+	mfClientDownAt = 1000 * sim.Microsecond
+	mfServerDownAt = 1050 * sim.Microsecond
+	mfClientUpAt   = 2000 * sim.Microsecond
+	mfServerUpAt   = 2050 * sim.Microsecond
+	mfTimeout      = 100 * sim.Microsecond
+)
+
+func runMultiFailure(seed uint64, sc Scale) (*Result, error) {
+	ops := sc.pick(400, 2500)
+	res := &Result{}
+	table := metrics.NewTable("Op outcomes around a concurrent client+replica crash (1KB gWRITE)",
+		"protocol", "ok before", "failed during", "ok after", "drops", "in flight at end")
+	for _, name := range protocol.Names() {
+		d, err := newDeployment(deployCfg{
+			seed: seed, proto: name,
+			opTimeout: mfTimeout,
+			// No retries: the scenario observes raw failures, not the retry
+			// policy's ability to paper over them.
+			faults: &rdma.FaultPlan{NICs: []rdma.NICFault{
+				{Host: "client", At: sim.Time(mfClientDownAt), Down: true},
+				{Host: "client", At: sim.Time(mfClientUpAt), Down: false},
+				{Host: "server-1", At: sim.Time(mfServerDownAt), Down: true},
+				{Host: "server-1", At: sim.Time(mfServerUpAt), Down: false},
+			}},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		var okBefore, failedDuring, okAfter, failedAfter int64
+		err = d.drive(60*sim.Second, func(f *sim.Fiber) error {
+			for i := 0; i < ops; i++ {
+				err := d.group.Write(f, (i%128)*2048, 1024, false)
+				now := f.Now()
+				switch {
+				case err == nil && now < sim.Time(mfClientDownAt):
+					okBefore++
+				case err == nil && now >= sim.Time(mfServerUpAt):
+					okAfter++
+				case err != nil && protocol.IsOpError(err):
+					if now >= sim.Time(mfServerUpAt) {
+						failedAfter++
+						// A failure after both restarts stalls the closed
+						// loop; give the datapath a beat instead of spinning.
+						f.Sleep(20 * sim.Microsecond)
+					} else {
+						failedDuring++
+					}
+				case err != nil:
+					return fmt.Errorf("op %d: %w", i, err)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		inflight := d.group.InFlight()
+		d.group.Close()
+		fs := d.fab.FaultStats()
+		table.AddRow(name, okBefore, failedDuring, okAfter, fs.Drops, inflight)
+		res.Counters = res.Counters.add(d.counters())
+
+		res.check(fmt.Sprintf("%s: healthy before the crashes", name),
+			okBefore > 0, "%d ops completed before t=%s", okBefore, fd(mfClientDownAt))
+		res.check(fmt.Sprintf("%s: every op resolves during the outage", name),
+			failedDuring > 0, "%d ops failed (none hung) while both NICs were down", failedDuring)
+		if name == "chain" {
+			// The chain head's pre-armed forwarding chains died with the
+			// client NIC; in-protocol traffic cannot rebuild them. Recovery
+			// is the failover protocol's job (see partition-failover), so
+			// spontaneous resumption here would mean the model leaks state
+			// across a crash.
+			res.check(fmt.Sprintf("%s: head crash requires reconfiguration to resume", name),
+				okAfter == 0, "%d ops completed after t=%s without repair (%d residual failures)",
+				okAfter, fd(mfServerUpAt), failedAfter)
+		} else {
+			res.check(fmt.Sprintf("%s: datapath carries writes after both restarts", name),
+				okAfter > 0, "%d ops completed after t=%s (%d residual failures)", okAfter, fd(mfServerUpAt), failedAfter)
+		}
+		res.check(fmt.Sprintf("%s: nothing left in flight", name),
+			inflight == 0, "InFlight() = %d after the driver finished", inflight)
+	}
+	res.Tables = append(res.Tables, table)
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("client NIC down [%s, %s), server-1 down [%s, %s); op timeout %s, no client retries",
+			fd(mfClientDownAt), fd(mfClientUpAt), fd(mfServerDownAt), fd(mfServerUpAt), fd(mfTimeout)),
+		"the driver is closed-loop, so a single hung op would stall it and trip the horizon guard")
+	return res, nil
+}

@@ -1,0 +1,104 @@
+package hypotheses
+
+import (
+	"fmt"
+
+	"hyperloop/internal/metrics"
+	"hyperloop/internal/protocol"
+	"hyperloop/internal/rdma"
+	"hyperloop/internal/sim"
+)
+
+func init() {
+	register("retry-vs-loss",
+		"Client-level timeout/retry absorbs transient wire loss on every protocol: "+
+			"a loss-free run never retries or fails an op, injected loss induces "+
+			"retries, and the retry+failure burden does not shrink as loss grows.",
+		"sweep wire drop probability 0→5% per protocol, count retries and failures",
+		runRetryLoss)
+}
+
+// lossRates is the sweep's x-axis: per-message drop probability applied to
+// every link in both directions.
+var lossRates = []float64{0, 0.01, 0.025, 0.05}
+
+func runRetryLoss(seed uint64, sc Scale) (*Result, error) {
+	ops := sc.pick(150, 1200)
+	res := &Result{}
+	table := metrics.NewTable("Retry cost vs injected wire loss (1KB durable gWRITE)",
+		"protocol", "loss", "ok", "failed", "retried", "drops")
+	for _, name := range protocol.Names() {
+		burden := make([]int64, 0, len(lossRates))
+		for _, loss := range lossRates {
+			var plan *rdma.FaultPlan
+			if loss > 0 {
+				// One wildcard rule matches every (from, to) pair, so data,
+				// forwards, and acks are all equally lossy.
+				plan = &rdma.FaultPlan{Links: []rdma.LinkFault{{DropProb: loss}}}
+			}
+			d, err := newDeployment(deployCfg{
+				seed: seed, proto: name,
+				opTimeout:    200 * sim.Microsecond,
+				maxRetries:   3,
+				retryBackoff: 50 * sim.Microsecond,
+				faults:       plan,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("%s loss=%v: %w", name, loss, err)
+			}
+			var ok, failed int64
+			err = d.drive(60*sim.Second, func(f *sim.Fiber) error {
+				for i := 0; i < ops; i++ {
+					err := d.group.Write(f, (i%128)*2048, 1024, true)
+					switch {
+					case err == nil:
+						ok++
+					case protocol.IsOpError(err):
+						failed++
+					default:
+						return fmt.Errorf("op %d: %w", i, err)
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, fmt.Errorf("%s loss=%v: %w", name, loss, err)
+			}
+			retried := d.group.Retried()
+			inflight := d.group.InFlight()
+			d.group.Close()
+			fs := d.fab.FaultStats()
+			table.AddRow(name, fmt.Sprintf("%.1f%%", loss*100), ok, failed, retried, fs.Drops)
+			burden = append(burden, retried+failed)
+			res.Counters = res.Counters.add(d.counters())
+			if inflight != 0 {
+				res.check(fmt.Sprintf("%s: ops quiesce at %.1f%% loss", name, loss*100),
+					false, "%d ops still in flight after the driver finished", inflight)
+			}
+		}
+		// Three checks per protocol: clean baseline, loss bites, and the
+		// burden trends upward (compared half-vs-half so one lucky point
+		// cannot flip the verdict).
+		res.check(fmt.Sprintf("%s: loss-free run is retry-free", name),
+			burden[0] == 0, "retried+failed = %d at 0%% loss", burden[0])
+		last := burden[len(burden)-1]
+		res.check(fmt.Sprintf("%s: %.1f%% loss induces retries", name, lossRates[len(lossRates)-1]*100),
+			last > 0, "retried+failed = %d", last)
+		half := len(burden) / 2
+		var lo, hi int64
+		for i, b := range burden {
+			if i < half {
+				lo += b
+			} else {
+				hi += b
+			}
+		}
+		res.check(fmt.Sprintf("%s: burden grows with loss", name),
+			hi >= lo, "upper-half burden %d vs lower-half %d", hi, lo)
+	}
+	res.Tables = append(res.Tables, table)
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("%d closed-loop 1KB durable writes per point; op timeout 200µs, ≤3 retries, 50µs backoff", ops),
+		"drops count transmit-side losses in both directions, so ack loss also charges the op that must retry")
+	return res, nil
+}

@@ -20,6 +20,13 @@ func init() {
 			cfg.OpTimeout = p.OpTimeout
 			cfg.MaxRetries = p.MaxRetries
 			cfg.RetryBackoff = p.RetryBackoff
+			if p.WakePenalty > 0 {
+				cfg.WakePenalty = p.WakePenalty
+				cfg.WakePenaltyProb = p.WakePenaltyProb
+			}
 			return Setup(env.Fabric, env.Client, env.Replicas, env.Scheds, cfg)
 		})
+	// The replica-side recv handler runs on the replicas' CPU schedulers,
+	// so op latency is exposed to co-located tenant load (§2.2).
+	protocol.SetTraits("naive", protocol.Traits{CPUDriven: true})
 }

@@ -117,14 +117,65 @@ type Params struct {
 	// Quorum is broadcast-specific: acks required to complete a write
 	// (0 = all members). Other protocols ignore it.
 	Quorum int
+
+	// WakePenalty/WakePenaltyProb model multi-tenant co-location for
+	// CPU-driven protocols: with probability WakePenaltyProb a replica
+	// handler wake pays up to WakePenalty of extra scheduling delay (the
+	// paper's §2.2 tail mechanism). NIC-offloaded protocols have no
+	// replica handler and ignore both.
+	WakePenalty     sim.Duration
+	WakePenaltyProb float64
+}
+
+// Traits are static per-protocol properties that cross-protocol harnesses
+// (the conformance suite, the hypothesis catalog) use to pick applicable
+// scenarios and the guarantee each protocol actually makes. The zero value
+// is the strongest default: completion requires every member's ack and no
+// replica CPU sits on the critical path.
+type Traits struct {
+	// AcksNeeded returns how many member acks (of a group of g members)
+	// the protocol requires before it completes a write — the floor on how
+	// many replicas provably hold an acknowledged op. nil means all g.
+	AcksNeeded func(g int) int
+	// CPUDriven marks protocols whose replica datapath runs on the
+	// replicas' CPU schedulers, exposing op latency to co-located tenant
+	// load. NIC-offloaded protocols leave it false.
+	CPUDriven bool
+}
+
+// SetTraits attaches traits to a registered protocol; implementations call
+// it from the same init that called Register. Unknown names panic — it is
+// the same wiring bug as a duplicate registration.
+func SetTraits(name string, t Traits) {
+	e, ok := registry[name]
+	if !ok {
+		panic(fmt.Sprintf("protocol: SetTraits on unregistered protocol %q", name))
+	}
+	e.traits = t
+	registry[name] = e
+}
+
+// TraitsOf returns a protocol's traits (the zero value when none were set
+// or the name is unknown).
+func TraitsOf(name string) Traits { return registry[name].traits }
+
+// AcksNeeded returns the number of member acks protocol name requires to
+// complete a write on a group of g members: the registered trait when one
+// is set, otherwise all g.
+func AcksNeeded(name string, g int) int {
+	if fn := registry[name].traits.AcksNeeded; fn != nil {
+		return fn(g)
+	}
+	return g
 }
 
 // Builder constructs a protocol instance over a cluster.
 type Builder func(Env, Params) (Protocol, error)
 
 type regEntry struct {
-	desc  string
-	build Builder
+	desc   string
+	build  Builder
+	traits Traits
 }
 
 var registry = map[string]regEntry{}

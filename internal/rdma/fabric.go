@@ -95,10 +95,13 @@ type Fabric struct {
 
 	// Fault-injection state (see fault.go). faultRNG is forked from rng
 	// only when a plan is installed, so plan-free runs draw the exact RNG
-	// sequence they always did. All of it clears on Reset.
-	faultLinks []LinkFault
-	faultRNG   *sim.RNG
-	faultStats FaultStats
+	// sequence they always did. All of it clears on Reset, including the
+	// scheduled NIC crash/restart timers — a plan armed for one trial must
+	// not fire into whatever runs on the kernel next.
+	faultLinks  []LinkFault
+	faultRNG    *sim.RNG
+	faultStats  FaultStats
+	faultTimers []*sim.Timer
 }
 
 // bufClasses covers scratch buffers up to 1<<(bufClasses-1) = 32 MB;
@@ -241,11 +244,17 @@ func (f *Fabric) Reset(k *sim.Kernel, cfg Config) {
 	f.rng = k.RNG().Fork()
 	f.msgs, f.bytesOnWire, f.cqes = 0, 0, 0
 	// A pooled fabric must not leak one trial's fault plan into the next:
-	// stale link rules would drop fresh traffic and a stale fault RNG
-	// would desynchronize the replayed stream.
+	// stale link rules would drop fresh traffic, a stale fault RNG would
+	// desynchronize the replayed stream, and an unfired NIC crash/restart
+	// timer would down a recycled NIC re-added under the same host name.
 	f.faultLinks = f.faultLinks[:0]
 	f.faultRNG = nil
 	f.faultStats = FaultStats{}
+	for i, t := range f.faultTimers {
+		t.Stop()
+		f.faultTimers[i] = nil
+	}
+	f.faultTimers = f.faultTimers[:0]
 }
 
 // Kernel returns the driving simulation kernel.

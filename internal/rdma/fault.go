@@ -1,6 +1,16 @@
 package rdma
 
-import "hyperloop/internal/sim"
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"hyperloop/internal/sim"
+)
+
+// ErrBadFaultPlan is the base error for every FaultPlan validation
+// failure; match with errors.Is.
+var ErrBadFaultPlan = errors.New("rdma: bad fault plan")
 
 // NICFault schedules a NIC availability change at a virtual instant:
 // Down=true crashes the host's NIC (outgoing traffic is lost, inbound
@@ -69,26 +79,108 @@ type FaultStats struct {
 	DupsSuppressed int64
 }
 
-// InstallFaultPlan arms the plan on the fabric: NIC crash/restart events
-// are scheduled on the kernel at their virtual instants and link rules are
-// consulted on every subsequent wire message. The plan's RNG is forked
-// from the fabric RNG here, so two runs with the same seed and the same
-// plan replay the same faults; a run with no plan installed draws exactly
-// the RNG sequence it always did.
-func (f *Fabric) InstallFaultPlan(p *FaultPlan) {
+// Validate checks the plan against the contract InstallFaultPlan assumes.
+// It rejects, with an error wrapping ErrBadFaultPlan:
+//
+//   - link probabilities outside [0, 1], negative extra delay, and
+//     malformed partition windows (negative bounds, or an inverted window
+//     with PartitionUntil < PartitionFrom; an empty window — equal bounds
+//     or both zero — means "no partition" and is fine);
+//   - NIC faults with an empty host or a negative instant;
+//   - overlapping crash/restart schedules for one host: two events at the
+//     same instant (their order would be ambiguous), a schedule that does
+//     not begin with a crash, or consecutive events that do not alternate
+//     crash → restart → crash (a crash of an already-down NIC, or a
+//     restart of one never crashed, is a plan-authoring bug, not a fault).
+//
+// Validate never mutates the plan. A nil plan is valid (it installs
+// nothing).
+func (p *FaultPlan) Validate() error {
 	if p == nil {
-		return
+		return nil
+	}
+	for i, lf := range p.Links {
+		bad := func(format string, a ...any) error {
+			return fmt.Errorf("%w: link %d (%q->%q): %s", ErrBadFaultPlan, i, lf.From, lf.To, fmt.Sprintf(format, a...))
+		}
+		if lf.DropProb < 0 || lf.DropProb > 1 {
+			return bad("drop probability %v outside [0,1]", lf.DropProb)
+		}
+		if lf.DupProb < 0 || lf.DupProb > 1 {
+			return bad("dup probability %v outside [0,1]", lf.DupProb)
+		}
+		if lf.ExtraDelay < 0 {
+			return bad("negative extra delay %v", lf.ExtraDelay)
+		}
+		if lf.PartitionFrom < 0 || lf.PartitionUntil < 0 {
+			return bad("negative partition bound [%v, %v)", lf.PartitionFrom, lf.PartitionUntil)
+		}
+		if lf.PartitionUntil < lf.PartitionFrom {
+			return bad("inverted partition window [%v, %v)", lf.PartitionFrom, lf.PartitionUntil)
+		}
+	}
+	byHost := make(map[string][]NICFault)
+	for i, nf := range p.NICs {
+		if nf.Host == "" {
+			return fmt.Errorf("%w: NIC fault %d: empty host", ErrBadFaultPlan, i)
+		}
+		if nf.At < 0 {
+			return fmt.Errorf("%w: NIC fault %d (%s): negative instant %v", ErrBadFaultPlan, i, nf.Host, nf.At)
+		}
+		byHost[nf.Host] = append(byHost[nf.Host], nf)
+	}
+	hosts := make([]string, 0, len(byHost))
+	for h := range byHost {
+		hosts = append(hosts, h)
+	}
+	sort.Strings(hosts)
+	for _, h := range hosts {
+		evs := byHost[h]
+		sort.SliceStable(evs, func(a, b int) bool { return evs[a].At < evs[b].At })
+		for i, nf := range evs {
+			if i > 0 && evs[i-1].At == nf.At {
+				return fmt.Errorf("%w: NIC %s: two events at the same instant %v", ErrBadFaultPlan, h, nf.At)
+			}
+			wantDown := i%2 == 0 // crash, restart, crash, …
+			if nf.Down != wantDown {
+				if wantDown {
+					return fmt.Errorf("%w: NIC %s: restart at %v without a preceding crash", ErrBadFaultPlan, h, nf.At)
+				}
+				return fmt.Errorf("%w: NIC %s: crash at %v while already down", ErrBadFaultPlan, h, nf.At)
+			}
+		}
+	}
+	return nil
+}
+
+// InstallFaultPlan validates the plan and arms it on the fabric: NIC
+// crash/restart events are scheduled on the kernel at their virtual
+// instants and link rules are consulted on every subsequent wire message.
+// The plan's RNG is forked from the fabric RNG here, so two runs with the
+// same seed and the same plan replay the same faults; a run with no plan
+// installed draws exactly the RNG sequence it always did. The scheduled
+// NIC events belong to the fabric: Fabric.Reset stops any that have not
+// fired, so a pooled fabric can never crash a later trial's NIC.
+func (f *Fabric) InstallFaultPlan(p *FaultPlan) error {
+	if p == nil {
+		return nil
+	}
+	if err := p.Validate(); err != nil {
+		return err
 	}
 	f.faultLinks = append(f.faultLinks[:0], p.Links...)
 	f.faultRNG = f.rng.Fork()
 	for _, nf := range p.NICs {
 		nf := nf
+		t := &sim.Timer{}
 		f.k.AtFunc(nf.At, func() {
 			if n := f.nics[nf.Host]; n != nil {
 				n.SetDown(nf.Down)
 			}
-		}, nil)
+		}, t)
+		f.faultTimers = append(f.faultTimers, t)
 	}
+	return nil
 }
 
 // linkFault returns the first installed link rule matching the directed

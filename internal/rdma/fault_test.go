@@ -94,7 +94,7 @@ func TestScheduledCrashAndRestart(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.AckTimeout = 100 * sim.Microsecond
 	p := newFaultPair(t, 3, cfg)
-	p.fab.InstallFaultPlan(&FaultPlan{NICs: []NICFault{
+	mustInstall(t, p.fab, &FaultPlan{NICs: []NICFault{
 		{Host: "b", At: sim.Time(100 * sim.Microsecond), Down: true},
 		{Host: "b", At: sim.Time(400 * sim.Microsecond), Down: false},
 	}})
@@ -140,7 +140,7 @@ func TestLinkPartitionWindow(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.AckTimeout = 100 * sim.Microsecond
 	p := newFaultPair(t, 5, cfg)
-	p.fab.InstallFaultPlan(&FaultPlan{Links: []LinkFault{{
+	mustInstall(t, p.fab, &FaultPlan{Links: []LinkFault{{
 		From:           "a",
 		PartitionFrom:  sim.Time(10 * sim.Microsecond),
 		PartitionUntil: sim.Time(200 * sim.Microsecond),
@@ -192,7 +192,7 @@ func TestAwaitTotalDeadline(t *testing.T) {
 // on the a→b link and checks each write is applied exactly once.
 func TestDuplicateDeliveriesSuppressed(t *testing.T) {
 	p := newTestPair(t)
-	p.fab.InstallFaultPlan(&FaultPlan{Links: []LinkFault{{From: "a", To: "b", DupProb: 1}}})
+	mustInstall(t, p.fab, &FaultPlan{Links: []LinkFault{{From: "a", To: "b", DupProb: 1}}})
 	const ops = 10
 	var sent, applied int
 	p.qa.SendCQ().SetDrainHandler(func(es []CQE) {
@@ -236,7 +236,7 @@ func faultTrace(t *testing.T, seed uint64) (string, FaultStats) {
 	cfg := DefaultConfig()
 	cfg.AckTimeout = 200 * sim.Microsecond
 	p := newFaultPair(t, seed, cfg)
-	p.fab.InstallFaultPlan(&FaultPlan{
+	mustInstall(t, p.fab, &FaultPlan{
 		NICs: []NICFault{
 			{Host: "b", At: sim.Time(40 * sim.Microsecond), Down: true},
 			{Host: "b", At: sim.Time(80 * sim.Microsecond), Down: false},
@@ -292,7 +292,7 @@ func TestFaultStressAllOpsResolve(t *testing.T) {
 		cfg := DefaultConfig()
 		cfg.AckTimeout = 200 * sim.Microsecond
 		p := newFaultPair(t, seed, cfg)
-		p.fab.InstallFaultPlan(&FaultPlan{Links: []LinkFault{
+		mustInstall(t, p.fab, &FaultPlan{Links: []LinkFault{
 			{From: "a", To: "b", DropProb: 0.3, DupProb: 0.2, ExtraDelay: 2 * sim.Microsecond},
 			{From: "b", To: "a", DropProb: 0.3, DupProb: 0.2},
 		}})
@@ -438,7 +438,7 @@ func TestRecycleThenReuseIsClean(t *testing.T) {
 func TestResetClearsFaultPlan(t *testing.T) {
 	k := sim.NewKernel(2)
 	fab := NewFabric(k, DefaultConfig())
-	fab.InstallFaultPlan(&FaultPlan{Links: []LinkFault{{DropProb: 1}}})
+	mustInstall(t, fab, &FaultPlan{Links: []LinkFault{{DropProb: 1}}})
 	if fab.linkFault("a", "b") == nil {
 		t.Fatal("plan not installed")
 	}

@@ -100,7 +100,8 @@ type CQ struct {
 	entries ring.Ring[CQE] // unpolled completions (Poll/SetHandler modes)
 
 	total        int64 // cumulative completions ever pushed
-	waitConsumed int64 // completions consumed by WAIT WQEs
+	okTotal      int64 // cumulative successful completions (WAIT fuel)
+	waitConsumed int64 // successful completions consumed by WAIT WQEs
 
 	handler      func(CQE)
 	drainHandler func([]CQE)
@@ -121,6 +122,7 @@ type CQ struct {
 type cqWaiter struct {
 	fn       func()
 	minTotal int64
+	onOK     bool // threshold counts successful completions only
 }
 
 // CQN returns the completion queue number.
@@ -186,6 +188,9 @@ func (c *CQ) push(e CQE) {
 	}
 	e.At = c.nic.fabric.k.Now()
 	c.total++
+	if e.Status == StatusSuccess {
+		c.okTotal++
+	}
 	c.nic.fabric.cqes++
 	switch {
 	case c.drainHandler != nil:
@@ -224,7 +229,11 @@ func (c *CQ) wakeWaiters() {
 	}
 	kept := c.waiters[:0]
 	for _, w := range c.waiters {
-		if c.total >= w.minTotal {
+		cnt := c.total
+		if w.onOK {
+			cnt = c.okTotal
+		}
+		if cnt >= w.minTotal {
 			w.fn()
 		} else {
 			kept = append(kept, w)
@@ -240,6 +249,13 @@ func (c *CQ) wakeWaiters() {
 // minTotal. The caller re-validates on wake; see cqWaiter.
 func (c *CQ) subscribe(fn func(), minTotal int64) {
 	c.waiters = append(c.waiters, cqWaiter{fn: fn, minTotal: minTotal})
+}
+
+// subscribeOK parks fn until the cumulative count of *successful*
+// completions reaches minOK — the wake filter for consuming WAIT WQEs,
+// which error completions must never satisfy.
+func (c *CQ) subscribeOK(fn func(), minOK int64) {
+	c.waiters = append(c.waiters, cqWaiter{fn: fn, minTotal: minOK, onOK: true})
 }
 
 // ErrWaitDeadline is returned by AwaitTotal when the deadline passes
@@ -269,7 +285,7 @@ func (c *CQ) AwaitTotal(f *sim.Fiber, n int64, deadline sim.Time) error {
 // thresholds instantly — and waiter callbacks must drop for GC.
 func (c *CQ) scrub() {
 	c.entries.Reset()
-	c.total, c.waitConsumed = 0, 0
+	c.total, c.okTotal, c.waitConsumed = 0, 0, 0
 	c.handler, c.drainHandler = nil, nil
 	c.batch = c.batch[:0]
 	c.spare = c.spare[:0]

@@ -384,12 +384,18 @@ func (q *QP) execWait(w WQE) {
 			return
 		}
 	} else {
+		// Consuming WAITs burn successful completions only: an error CQE
+		// (timeout/flush) means the gated work did NOT happen, and on real
+		// hardware an errored WQE moves the QP to the error state rather
+		// than silently satisfying a downstream wait. Counting errors here
+		// let a crashed member's ack chain fire for a flush that never
+		// executed — an acked durability contract with zero durable copies.
 		need := int64(w.Imm)
 		if need <= 0 {
 			need = 1
 		}
-		if cq.total-cq.waitConsumed < need {
-			cq.subscribe(q.Doorbell, cq.waitConsumed+need)
+		if cq.okTotal-cq.waitConsumed < need {
+			cq.subscribeOK(q.Doorbell, cq.waitConsumed+need)
 			return
 		}
 		cq.waitConsumed += need
