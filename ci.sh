@@ -1,72 +1,143 @@
 #!/bin/sh
-# Tier-1 verification: formatting, vet, static analysis, the full suite,
-# the race detector over the two-level scheduler and the simulation/RDMA
-# hot paths, coverage floors on the pooling-critical packages, short fuzz
-# runs over the WQE decoder and device reset, a determinism golden across
-# a seed matrix (serial vs overlapped vs fast-path-off), the bench
-# regression gate — strict virtual-time fields plus an events_per_sec
-# tolerance band — against the committed BENCH_baseline.json, and the
-# hypothesis catalog: every claim-validating scenario must pass at seeds
-# 1/2/42 with reproducible counters, match the committed
-# HYPO_baseline.json, and regenerate the committed FINDINGS.md evidence.
+# Tier-1 verification, split into named stages so CI can run them as
+# parallel jobs and developers can iterate on one stage locally:
 #
-#   ./ci.sh                    run the full pipeline
+#   lint    gofmt gate, go vet, staticcheck + govulncheck (version-pinned)
+#   test    build, full suite, race detector over the scheduler and the
+#           simulation/RDMA/txn/shard hot paths, coverage floors,
+#           baseline-staleness and protocol-conformance suites
+#   fuzz    short fuzz runs over the WQE decoder, device reset and fault
+#           plan validation
+#   bench   determinism goldens across a seed matrix (serial vs overlapped
+#           vs fast-path-off, full sweep plus a shards-only leg), the
+#           hypothesis-catalog reproducibility matrix, and the bench/hypo
+#           regression gates against the committed baselines
+#
+#   ./ci.sh                    run every stage in sequence
+#   ./ci.sh <stage>            run one stage (lint | test | fuzz | bench)
 #   ./ci.sh -update-baseline   regenerate BENCH_baseline.json,
 #                              HYPO_baseline.json and hypotheses/ instead
 #                              of diffing against them; commit the result
 #                              (see EXPERIMENTS.md)
-set -eux
+#
+# Every step runs through a quiet runner: output is captured per step, a
+# one-line timing entry is printed as it finishes (and collected in the
+# artifacts dir as stage-times.txt), and only a failing step dumps its
+# log — so a red run shows exactly the output that matters instead of a
+# full -x trace of every green step.
+set -eu
 
-update_baseline=0
-if [ "${1:-}" = "-update-baseline" ]; then
-    update_baseline=1
-fi
+mode=all
+case "${1:-all}" in
+-update-baseline) mode=update ;;
+lint | test | fuzz | bench | all) mode=${1:-all} ;;
+*)
+    echo "usage: ./ci.sh [lint|test|fuzz|bench|-update-baseline]" >&2
+    exit 2
+    ;;
+esac
 
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
+mkdir -p "$tmp/logs"
 
-# Bench artifacts (quick-scale text + JSON) land here; CI uploads them.
+# Bench artifacts (quick-scale text + JSON) and the stage timing summary
+# land here; CI uploads them.
 artifacts=${CI_ARTIFACTS_DIR:-"$tmp/artifacts"}
 mkdir -p "$artifacts"
+times_file="$artifacts/stage-times.txt"
+: >"$times_file"
 
-# Formatting must be clean before anything else runs.
-badfmt=$(gofmt -l .)
-if [ -n "$badfmt" ]; then
-    echo "gofmt needed on: $badfmt" >&2
-    exit 1
-fi
+stepn=0
 
-go vet ./...
+# step <name> <cmd...>: run one step quietly. The command (a program or a
+# shell function) runs in a subshell with errexit restored, so multi-line
+# helpers fail on their first error; the surrounding `set +e` must wrap a
+# plain command — POSIX errexit is suppressed inside `if`/`&&` contexts,
+# which would let failures escape. Only a failing step's log is dumped.
+step() {
+    name=$1
+    shift
+    stepn=$((stepn + 1))
+    log="$tmp/logs/step-$stepn.log"
+    start=$(date +%s)
+    set +e
+    (
+        set -e
+        "$@"
+    ) >"$log" 2>&1
+    rc=$?
+    set -e
+    dur=$(($(date +%s) - start))
+    if [ "$rc" -eq 0 ]; then
+        status=ok
+    else
+        status="FAIL(rc=$rc)"
+    fi
+    printf '%-44s %4ss  %s\n' "$name" "$dur" "$status" | tee -a "$times_file"
+    if [ "$rc" -ne 0 ]; then
+        echo "--- log of failing step \"$name\" ---" >&2
+        cat "$log" >&2
+        echo "--- end of failing step log ---" >&2
+        exit "$rc"
+    fi
+}
+
+run_stage() {
+    stage_name=$1
+    shift
+    echo "== stage $stage_name =="
+    stage_start=$(date +%s)
+    "$@"
+    printf '== stage %s done in %ss ==\n' "$stage_name" "$(($(date +%s) - stage_start))" | tee -a "$times_file"
+}
+
+# ---------- lint ----------
+
+check_fmt() {
+    badfmt=$(gofmt -l .)
+    if [ -n "$badfmt" ]; then
+        echo "gofmt needed on: $badfmt" >&2
+        exit 1
+    fi
+}
 
 # Static analysis and vuln scanning, version-pinned so CI runs are
 # reproducible. Both need the network once to populate the module cache;
 # skip gracefully when the toolchain can't fetch them (offline dev box).
-if command -v staticcheck >/dev/null 2>&1; then
-    staticcheck ./...
-elif GOFLAGS= go install honnef.co/go/tools/cmd/staticcheck@2024.1.1 >/dev/null 2>&1; then
-    "$(go env GOPATH)/bin/staticcheck" ./...
-else
-    echo "staticcheck unavailable (offline?); skipping" >&2
-fi
-if command -v govulncheck >/dev/null 2>&1; then
-    govulncheck ./...
-elif GOFLAGS= go install golang.org/x/vuln/cmd/govulncheck@v1.1.3 >/dev/null 2>&1; then
-    "$(go env GOPATH)/bin/govulncheck" ./...
-else
-    echo "govulncheck unavailable (offline?); skipping" >&2
-fi
+run_staticcheck() {
+    if command -v staticcheck >/dev/null 2>&1; then
+        staticcheck ./...
+    elif GOFLAGS= go install honnef.co/go/tools/cmd/staticcheck@2024.1.1 >/dev/null 2>&1; then
+        "$(go env GOPATH)/bin/staticcheck" ./...
+    else
+        echo "staticcheck unavailable (offline?); skipping" >&2
+    fi
+}
 
-go build ./...
-go test ./...
-# The determinism goldens shrink their matrix under race (see
-# race_on_test.go) but the detector is still ~10× on one core; give the
-# stage explicit headroom over the 10m default.
-go test -race -timeout 20m ./internal/experiments ./internal/sim ./internal/rdma ./internal/cpusim
+run_govulncheck() {
+    if command -v govulncheck >/dev/null 2>&1; then
+        govulncheck ./...
+    elif GOFLAGS= go install golang.org/x/vuln/cmd/govulncheck@v1.1.3 >/dev/null 2>&1; then
+        "$(go env GOPATH)/bin/govulncheck" ./...
+    else
+        echo "govulncheck unavailable (offline?); skipping" >&2
+    fi
+}
+
+stage_lint() {
+    step "gofmt" check_fmt
+    step "go vet" go vet ./...
+    step "staticcheck" run_staticcheck
+    step "govulncheck" run_govulncheck
+}
+
+# ---------- test ----------
 
 # Coverage floors. nvm's dirty-range reset and ring's log are what device
-# pooling leans on for correctness, so their suites must stay thorough;
-# the hypothesis catalog is the claim-validation surface, so its checks
-# and findings rendering must stay exercised.
+# pooling leans on for correctness; the hypothesis catalog is the
+# claim-validation surface; the shard router is the cross-shard atomicity
+# surface (2PC lock ordering, abort rollback, recovery).
 covercheck() {
     pkg=$1 floor=$2
     go test -coverprofile "$tmp/cover.out" "$pkg"
@@ -76,100 +147,162 @@ covercheck() {
         exit 1
     fi
 }
-covercheck ./internal/nvm 90
-covercheck ./internal/ring 90
-covercheck ./internal/hypotheses 85
+
+stage_test() {
+    step "go build" go build ./...
+    step "go test" go test ./...
+    # The determinism goldens shrink their matrix under race (see
+    # race_on_test.go) but the detector is still ~10× on one core; give
+    # the step explicit headroom over the 10m default. txn and shard join
+    # the race leg: 2PC and the router are lock-ordering-sensitive.
+    step "go test -race (hot paths)" go test -race -timeout 20m \
+        ./internal/experiments ./internal/sim ./internal/rdma ./internal/cpusim \
+        ./internal/txn ./internal/shard
+    step "coverage internal/nvm >=90" covercheck ./internal/nvm 90
+    step "coverage internal/ring >=90" covercheck ./internal/ring 90
+    step "coverage internal/hypotheses >=85" covercheck ./internal/hypotheses 85
+    step "coverage internal/shard >=85" covercheck ./internal/shard 85
+    # BENCH_baseline.json must decode against the current -json schema and
+    # cover the current experiment registry (also part of `go test ./...`
+    # above; run it by name so a staleness failure is unmistakable in CI
+    # logs). Same bar for the hypothesis catalog and the committed
+    # hypotheses/<id>/FINDINGS.md artifacts.
+    step "baseline staleness" go test ./cmd/hyperloop-bench \
+        -run TestBaselineMatchesSchema -count=1
+    step "hypo baseline staleness" go test ./cmd/hypothesis-run \
+        -run 'TestBaselineMatchesSchema|TestCommittedFindingsMatch' -count=1
+    # Cross-protocol conformance: the suite iterates protocol.Names(), so
+    # every registered replication protocol runs the same
+    # op/fault/Close/determinism script.
+    step "protocol conformance" go test ./internal/experiments \
+        -run TestProtocol -count=1
+}
+
+# ---------- fuzz ----------
 
 # Short fuzz runs: arbitrary 64-byte WQE slots through a live send ring,
 # arbitrary workloads through Device.Reset-equals-fresh, and arbitrary
 # fault schedules through FaultPlan.Validate (accepted plans must then
 # survive installation on a live fabric).
-go test ./internal/rdma -run='^$' -fuzz=FuzzWQEDecode -fuzztime=10s
-go test ./internal/nvm -run='^$' -fuzz=FuzzDeviceReset -fuzztime=10s
-go test ./internal/rdma -run='^$' -fuzz=FuzzFaultPlanValidate -fuzztime=10s
+stage_fuzz() {
+    step "fuzz WQE decode" go test ./internal/rdma -run='^$' \
+        -fuzz=FuzzWQEDecode -fuzztime=10s
+    step "fuzz device reset" go test ./internal/nvm -run='^$' \
+        -fuzz=FuzzDeviceReset -fuzztime=10s
+    step "fuzz fault plan" go test ./internal/rdma -run='^$' \
+        -fuzz=FuzzFaultPlanValidate -fuzztime=10s
+}
 
-# BENCH_baseline.json must decode against the current -json schema and cover
-# the current experiment registry (also part of `go test ./...` above; run
-# it by name so a staleness failure is unmistakable in CI logs). Same bar
-# for the hypothesis catalog: HYPO_baseline.json must match the CLI schema
-# and catalog order, and the committed hypotheses/<id>/FINDINGS.md
-# artifacts must match a fresh seed-1 regeneration byte for byte.
-go test ./cmd/hyperloop-bench -run TestBaselineMatchesSchema -count=1
-go test ./cmd/hypothesis-run -run 'TestBaselineMatchesSchema|TestCommittedFindingsMatch' -count=1
+# ---------- bench ----------
 
-# Cross-protocol conformance: the suite iterates protocol.Names(), so every
-# registered replication protocol runs the same op/fault/Close/determinism
-# script, and TestProtocolRegistryComplete fails if a canonical protocol
-# drops out of the registry. Run by name for an unmistakable CI log line.
-go test ./internal/experiments -run 'TestProtocol' -count=1
+build_tools() {
+    go build -o "$tmp/bench" ./cmd/hyperloop-bench
+    go build -o "$tmp/benchdiff" ./cmd/benchdiff
+    go build -o "$tmp/hyporun" ./cmd/hypothesis-run
+}
 
-go build -o "$tmp/bench" ./cmd/hyperloop-bench
-go build -o "$tmp/benchdiff" ./cmd/benchdiff
-go build -o "$tmp/hyporun" ./cmd/hypothesis-run
+# Determinism golden for one experiment selection at one seed: the bench
+# output is virtual-time numbers, so it must be byte-identical serial
+# (-procs 1) vs fully overlapped (-procs 0) vs the fiber fast path forced
+# off (-fastpath off) once the wall-time-only lines ("regenerated in")
+# are stripped.
+determinism() {
+    exp=$1 seed=$2
+    "$tmp/bench" -exp "$exp" -scale quick -seed "$seed" -procs 1 |
+        grep -v 'regenerated in' >"$tmp/serial.norm"
+    "$tmp/bench" -exp "$exp" -scale quick -seed "$seed" -procs 0 |
+        grep -v 'regenerated in' >"$tmp/overlap.norm"
+    diff -u "$tmp/serial.norm" "$tmp/overlap.norm"
+    "$tmp/bench" -exp "$exp" -scale quick -seed "$seed" -procs 0 -fastpath off |
+        grep -v 'regenerated in' >"$tmp/fastoff.norm"
+    diff -u "$tmp/serial.norm" "$tmp/fastoff.norm"
+}
 
-if [ "$update_baseline" = 1 ]; then
+# Hypothesis catalog at one seed: every claim must hold (exit 0), and a
+# repeat run at the same seed must reproduce every strict virtual-time
+# counter exactly. benchdiff does the strict comparison; -eps-tolerance 0
+# disables its wall-clock throughput band, which is meaningless between
+# two back-to-back runs.
+hypo_repro() {
+    seed=$1
+    "$tmp/hyporun" -run all -scale quick -seed "$seed" -json "$tmp/hypo-a.json" >/dev/null
+    "$tmp/hyporun" -run all -scale quick -seed "$seed" -json "$tmp/hypo-b.json" >/dev/null
+    "$tmp/benchdiff" -eps-tolerance 0 "$tmp/hypo-a.json" "$tmp/hypo-b.json"
+}
+
+# Bench regression gate: an overlapped quick run must match the committed
+# serial baseline on every strict (virtual-time) field and may not regress
+# the aggregate simulator rate more than benchdiff's tolerance band. The
+# per-experiment wall/events CSV lands in the artifacts dir. On an
+# intentional behaviour change, run `./ci.sh -update-baseline` and commit.
+bench_gate() {
+    "$tmp/bench" -exp all -scale quick -seed 1 -procs 0 -json "$artifacts/bench-quick.json" \
+        >"$artifacts/bench-quick.txt"
+    "$tmp/benchdiff" -csv "$artifacts/bench-quick.csv" BENCH_baseline.json "$artifacts/bench-quick.json"
+    # The sharded scale-out experiment is the newest and most
+    # placement-sensitive; re-gate it in isolation with -only so a shards
+    # regression is named in the log even when the full diff is noisy.
+    "$tmp/benchdiff" -only shards BENCH_baseline.json "$artifacts/bench-quick.json"
+}
+
+# Hypothesis regression gate: a fresh seed-1 quick run must match the
+# committed HYPO_baseline.json on every strict field, and the regenerated
+# FINDINGS.md evidence must match the committed hypotheses/ tree.
+hypo_gate() {
+    "$tmp/hyporun" -run all -scale quick -seed 1 \
+        -json "$artifacts/hypo-quick.json" -findings "$artifacts/hypotheses" \
+        >"$artifacts/hypo-quick.txt"
+    "$tmp/benchdiff" -eps-tolerance 0 -csv "$artifacts/hypo-quick.csv" \
+        HYPO_baseline.json "$artifacts/hypo-quick.json"
+    diff -ru hypotheses "$artifacts/hypotheses"
+}
+
+stage_bench() {
+    step "build bench tools" build_tools
+    for seed in 1 2 42; do
+        step "determinism all seed=$seed" determinism all "$seed"
+        # The shards experiment multiplexes hundreds of groups over shared
+        # rack schedulers — the densest overlap surface in the suite — so
+        # it gets its own named leg in the seed matrix.
+        step "determinism shards seed=$seed" determinism shards "$seed"
+        step "hypo reproducibility seed=$seed" hypo_repro "$seed"
+    done
+    step "bench regression gate" bench_gate
+    step "hypo regression gate" hypo_gate
+}
+
+# ---------- update-baseline ----------
+
+update_baseline() {
     # The committed baseline is always generated serially: -procs 1 is the
     # degenerate schedule every other -procs value must reproduce.
     "$tmp/bench" -exp all -scale quick -seed 1 -procs 1 -json BENCH_baseline.json \
-        > "$artifacts/bench-quick.txt"
+        >"$artifacts/bench-quick.txt"
     cp BENCH_baseline.json "$artifacts/bench-quick.json"
     # The hypothesis baseline and the committed FINDINGS.md evidence
     # regenerate together so they can never drift apart.
     "$tmp/hyporun" -run all -scale quick -seed 1 \
-        -json HYPO_baseline.json -findings hypotheses > "$artifacts/hypo-quick.txt"
+        -json HYPO_baseline.json -findings hypotheses >"$artifacts/hypo-quick.txt"
     cp HYPO_baseline.json "$artifacts/hypo-quick.json"
+}
+
+case "$mode" in
+update)
+    step "build bench tools" build_tools
+    step "regenerate baselines" update_baseline
     echo "BENCH_baseline.json, HYPO_baseline.json and hypotheses/ regenerated; review and commit" >&2
-    exit 0
-fi
+    ;;
+lint) run_stage lint stage_lint ;;
+test) run_stage test stage_test ;;
+fuzz) run_stage fuzz stage_fuzz ;;
+bench) run_stage bench stage_bench ;;
+all)
+    run_stage lint stage_lint
+    run_stage test stage_test
+    run_stage fuzz stage_fuzz
+    run_stage bench stage_bench
+    ;;
+esac
 
-# Determinism golden across a seed matrix: the bench output is virtual-time
-# numbers, so it must be byte-identical serial (-procs 1) vs fully
-# overlapped (-procs 0) vs the fiber fast path forced off (-fastpath off)
-# once the wall-time-only lines ("regenerated in") are stripped.
-for seed in 1 2 42; do
-    "$tmp/bench" -exp all -scale quick -seed "$seed" -procs 1 |
-        grep -v 'regenerated in' > "$tmp/serial.norm"
-    "$tmp/bench" -exp all -scale quick -seed "$seed" -procs 0 |
-        grep -v 'regenerated in' > "$tmp/overlap.norm"
-    diff -u "$tmp/serial.norm" "$tmp/overlap.norm"
-    "$tmp/bench" -exp all -scale quick -seed "$seed" -procs 0 -fastpath off |
-        grep -v 'regenerated in' > "$tmp/fastoff.norm"
-    diff -u "$tmp/serial.norm" "$tmp/fastoff.norm"
-done
-
-# Hypothesis catalog: every claim must hold (exit 0) at each matrix seed,
-# and a repeat run at the same seed must reproduce every strict
-# virtual-time counter exactly. benchdiff does the strict comparison;
-# -eps-tolerance 0 disables its wall-clock throughput band, which is
-# meaningless between two back-to-back runs.
-for seed in 1 2 42; do
-    "$tmp/hyporun" -run all -scale quick -seed "$seed" -json "$tmp/hypo-a.json" > /dev/null
-    "$tmp/hyporun" -run all -scale quick -seed "$seed" -json "$tmp/hypo-b.json" > /dev/null
-    "$tmp/benchdiff" -eps-tolerance 0 "$tmp/hypo-a.json" "$tmp/hypo-b.json"
-done
-
-# Bench regression gate: an overlapped quick run must match the committed
-# serial baseline on every strict (virtual-time) field — report text,
-# sim_events, cqes, messages, wire_bytes, demand-side pool counters — and
-# may not regress the aggregate simulator rate (events_per_sec) more than
-# benchdiff's tolerance band. Wall-clock numbers, the fast/slow dispatch
-# split and pool reuse splits are advisory; the per-experiment wall/events
-# CSV lands in the artifacts dir. On an intentional behaviour change, run
-# `./ci.sh -update-baseline` and commit the result.
-"$tmp/bench" -exp all -scale quick -seed 1 -procs 0 -json "$artifacts/bench-quick.json" \
-    > "$artifacts/bench-quick.txt"
-"$tmp/benchdiff" -csv "$artifacts/bench-quick.csv" BENCH_baseline.json "$artifacts/bench-quick.json"
-
-# Hypothesis regression gate: a fresh seed-1 quick run must match the
-# committed HYPO_baseline.json on every strict field — the embedded
-# findings text (checks, tables, verdicts) and the virtual-time counters.
-# The scenarios are short, so the wall-clock throughput band is all noise;
-# the strict fields are the gate. Regenerated FINDINGS.md evidence lands
-# in the artifacts dir and must match the committed hypotheses/ tree.
-# On an intentional behaviour change, run `./ci.sh -update-baseline`.
-"$tmp/hyporun" -run all -scale quick -seed 1 \
-    -json "$artifacts/hypo-quick.json" -findings "$artifacts/hypotheses" \
-    > "$artifacts/hypo-quick.txt"
-"$tmp/benchdiff" -eps-tolerance 0 -csv "$artifacts/hypo-quick.csv" \
-    HYPO_baseline.json "$artifacts/hypo-quick.json"
-diff -ru hypotheses "$artifacts/hypotheses"
+echo "stage timing summary ($times_file):"
+cat "$times_file"

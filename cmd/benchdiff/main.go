@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	benchdiff [-eps-tolerance 0.10] [-csv out.csv] BENCH_baseline.json current.json
+//	benchdiff [-eps-tolerance 0.10] [-csv out.csv] [-only exp] BENCH_baseline.json current.json
 //
 // Strict fields — the simulation's virtual-time behaviour — must match
 // exactly: seed, scale, the experiment id sequence, each experiment's
@@ -29,6 +29,13 @@
 // their deltas for the log and never fails on them. -csv additionally
 // writes the current report's per-experiment wall/event figures as CSV
 // for CI artifact upload.
+//
+// -only <experiment> restricts the strict comparison to one experiment id
+// — for iterating on a single experiment locally without re-running the
+// full sweep (`hyperloop-bench -exp <id> -json ...` against the committed
+// baseline). The whole-run throughput gate is skipped in this mode: the
+// baseline's total wall time covers every experiment and would be
+// meaningless against a single-experiment run.
 package main
 
 import (
@@ -137,15 +144,28 @@ func writeCSV(path string, r *benchReport) error {
 	return os.WriteFile(path, []byte(sb.String()), 0o644)
 }
 
+// filterOnly narrows a report to the named experiment id.
+func filterOnly(r *benchReport, id, path string) (*benchReport, error) {
+	for _, e := range r.Experiments {
+		if e.ID == id {
+			out := *r
+			out.Experiments = []expStats{e}
+			return &out, nil
+		}
+	}
+	return nil, fmt.Errorf("%s: no experiment %q in report", path, id)
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
 	epsTol := fs.Float64("eps-tolerance", 0.10, "max allowed fractional regression of aggregate events_per_sec vs baseline (<=0 disables the gate)")
 	csvPath := fs.String("csv", "", "write the current report's per-experiment wall/events CSV to this file")
+	only := fs.String("only", "", "compare just this experiment id (skips the whole-run throughput gate)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 2 {
-		return fmt.Errorf("usage: benchdiff [-eps-tolerance frac] [-csv out.csv] <baseline.json> <current.json>")
+		return fmt.Errorf("usage: benchdiff [-eps-tolerance frac] [-csv out.csv] [-only exp] <baseline.json> <current.json>")
 	}
 	base, err := load(fs.Arg(0))
 	if err != nil {
@@ -154,6 +174,17 @@ func run(args []string) error {
 	cur, err := load(fs.Arg(1))
 	if err != nil {
 		return err
+	}
+	if *only != "" {
+		if base, err = filterOnly(base, *only, fs.Arg(0)); err != nil {
+			return err
+		}
+		if cur, err = filterOnly(cur, *only, fs.Arg(1)); err != nil {
+			return err
+		}
+		// One experiment's wall share of a full run says nothing about
+		// throughput; only the strict virtual-time fields are comparable.
+		*epsTol = 0
 	}
 	args = []string{fs.Arg(0), fs.Arg(1)}
 	if *csvPath != "" {

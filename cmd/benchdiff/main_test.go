@@ -103,6 +103,48 @@ func TestSeedMismatchFails(t *testing.T) {
 	}
 }
 
+// multiSample is a two-experiment baseline for the -only filter tests.
+func multiSample() benchReport {
+	r := sample()
+	second := r.Experiments[0]
+	second.ID = "shards"
+	second.Report = "== shards ==\np99 9.9us\n"
+	second.SimEvents = 2000
+	r.Experiments = append(r.Experiments, second)
+	return r
+}
+
+func TestOnlyFilterComparesSingleExperiment(t *testing.T) {
+	dir := t.TempDir()
+	a := writeReport(t, dir, "a.json", multiSample())
+	// Current run regenerated just the shards experiment: the other
+	// experiment's counters diverge wildly but must be ignored.
+	cur := multiSample()
+	cur.Experiments[0].SimEvents = 1
+	cur.Experiments[0].Report = "garbage"
+	cur.Experiments = cur.Experiments[:2]
+	cur.TotalWallMS = 7 // single-exp run: throughput gate must be off
+	b := writeReport(t, dir, "b.json", cur)
+	if err := run([]string{"-only", "shards", a, b}); err != nil {
+		t.Fatalf("-only shards compared unrelated experiments: %v", err)
+	}
+	// The filtered experiment itself still gates strictly.
+	cur.Experiments[1].SimEvents++
+	b = writeReport(t, dir, "b.json", cur)
+	if err := run([]string{"-only", "shards", a, b}); err == nil {
+		t.Fatal("-only missed a strict mismatch in the selected experiment")
+	}
+}
+
+func TestOnlyFilterUnknownExperiment(t *testing.T) {
+	dir := t.TempDir()
+	a := writeReport(t, dir, "a.json", multiSample())
+	b := writeReport(t, dir, "b.json", multiSample())
+	if err := run([]string{"-only", "nope", a, b}); err == nil {
+		t.Fatal("unknown -only id accepted")
+	}
+}
+
 func TestUnknownFieldRejected(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "stale.json")

@@ -79,6 +79,56 @@ func (a docDB) ReadModifyWrite(f *sim.Fiber, key int, v []byte) error {
 	return a.Update(f, key, v)
 }
 
+// shardDB adapts the shard router: every key lives on one of N
+// independent replication groups, read-modify-writes go through the
+// cross-shard transaction path, and scans degrade to point gets (hash
+// sharding scatters adjacent keys).
+type shardDB struct{ r *root.ShardRouter }
+
+func (a shardDB) Read(f *sim.Fiber, key int) error {
+	v, err := a.r.Get(uint64(key))
+	if err != nil {
+		return err
+	}
+	if v == nil {
+		return fmt.Errorf("missing key %d", key)
+	}
+	return nil
+}
+func (a shardDB) Update(f *sim.Fiber, key int, v []byte) error {
+	return a.r.Put(f, uint64(key), v)
+}
+func (a shardDB) Insert(f *sim.Fiber, key int, v []byte) error {
+	return a.r.Put(f, uint64(key), v)
+}
+func (a shardDB) Scan(f *sim.Fiber, start, count int) error {
+	for i := 0; i < count; i++ {
+		if _, err := a.r.Get(uint64(start + i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+func (a shardDB) ReadModifyWrite(f *sim.Fiber, key int, v []byte) error {
+	if err := a.Read(f, key); err != nil {
+		return err
+	}
+	return a.r.Txn(f, []root.ShardWrite{{Key: uint64(key), Data: v}})
+}
+
+// shardProtocol maps the legacy backend names onto registry protocols for
+// sharded runs.
+func shardProtocol(backend string) string {
+	switch backend {
+	case "hyperloop":
+		return "chain"
+	case "naive-event", "naive-polling", "naive-pinned":
+		return "naive"
+	default:
+		return backend
+	}
+}
+
 // run executes one workload and prints the latency table to out; split
 // from main so tests can drive flag combinations and inspect the output.
 func run(args []string, out io.Writer) error {
@@ -93,6 +143,7 @@ func run(args []string, out io.Writer) error {
 		seed     = fs.Uint64("seed", 1, "simulation seed")
 		replicas = fs.Int("replicas", 3, "replica chain length")
 		load     = fs.Bool("load", true, "apply multi-tenant CPU load on replicas")
+		shards   = fs.Int("shards", 1, "partition the keyspace across N independent replication groups (>1 routes ops through the shard router; -db is ignored)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -102,42 +153,72 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	cluster, err := root.NewCluster(root.ClusterConfig{
-		Seed:            *seed,
-		Replicas:        *replicas,
-		MultiTenantLoad: *load,
-		DeviceSize:      64 << 20,
-	})
-	if err != nil {
-		return err
-	}
 
-	var db ycsb.DB
-	switch *dbKind {
-	case "kv":
-		kcfg := kvstore.DefaultConfig()
-		group, err := makeGroup(cluster, *backend, kvstore.MirrorSizeFor(kcfg))
+	var (
+		db      ycsb.DB
+		runSim  func(func(f *root.Fiber) error) error
+		storeID string
+	)
+	if *shards > 1 {
+		// Enough slots for every preloaded record plus worst-case inserts,
+		// with hash-imbalance headroom.
+		slots := (*records+*ops)*2/(*shards) + 32
+		sc, err := root.NewShardedCluster(root.ShardedClusterConfig{
+			Seed:             *seed,
+			Shards:           *shards,
+			ReplicasPerShard: *replicas,
+			Protocol:         shardProtocol(*backend),
+			Routing: root.ShardRoutingConfig{
+				SlotSize:      *valSize,
+				SlotsPerShard: slots,
+				LogSize:       4*(*valSize) + 1024,
+			},
+		})
 		if err != nil {
 			return err
 		}
-		kv, err := kvstore.Open(group, kcfg)
+		defer sc.Close()
+		db = shardDB{r: sc.Router()}
+		runSim = sc.Run
+		storeID = fmt.Sprintf("sharded×%d", *shards)
+	} else {
+		cluster, err := root.NewCluster(root.ClusterConfig{
+			Seed:            *seed,
+			Replicas:        *replicas,
+			MultiTenantLoad: *load,
+			DeviceSize:      64 << 20,
+		})
 		if err != nil {
 			return err
 		}
-		db = kvDB{db: kv}
-	case "doc":
-		dcfg := docstore.DefaultConfig()
-		group, err := makeGroup(cluster, *backend, docstore.MirrorSizeFor(dcfg))
-		if err != nil {
-			return err
+		runSim = cluster.Run
+		storeID = *dbKind
+		switch *dbKind {
+		case "kv":
+			kcfg := kvstore.DefaultConfig()
+			group, err := makeGroup(cluster, *backend, kvstore.MirrorSizeFor(kcfg))
+			if err != nil {
+				return err
+			}
+			kv, err := kvstore.Open(group, kcfg)
+			if err != nil {
+				return err
+			}
+			db = kvDB{db: kv}
+		case "doc":
+			dcfg := docstore.DefaultConfig()
+			group, err := makeGroup(cluster, *backend, docstore.MirrorSizeFor(dcfg))
+			if err != nil {
+				return err
+			}
+			st, err := docstore.Open(group, dcfg)
+			if err != nil {
+				return err
+			}
+			db = docDB{st: st}
+		default:
+			return fmt.Errorf("unknown -db %q (kv|doc)", *dbKind)
 		}
-		st, err := docstore.Open(group, dcfg)
-		if err != nil {
-			return err
-		}
-		db = docDB{st: st}
-	default:
-		return fmt.Errorf("unknown -db %q (kv|doc)", *dbKind)
 	}
 
 	runner := ycsb.NewRunner(ycsb.RunnerConfig{
@@ -148,7 +229,7 @@ func run(args []string, out io.Writer) error {
 		Seed:        *seed,
 	})
 	var result *ycsb.Result
-	err = cluster.Run(func(f *root.Fiber) error {
+	err = runSim(func(f *root.Fiber) error {
 		if err := runner.Load(f, db); err != nil {
 			return err
 		}
@@ -162,7 +243,7 @@ func run(args []string, out io.Writer) error {
 
 	tbl := metrics.NewTable(
 		fmt.Sprintf("YCSB-%s on %s store, %s backend (%d records, %d ops)",
-			w.Name, *dbKind, *backend, *records, *ops),
+			w.Name, storeID, *backend, *records, *ops),
 		"operation", "count", "avg", "p95", "p99", "max")
 	for _, op := range []ycsb.OpType{ycsb.OpRead, ycsb.OpUpdate, ycsb.OpInsert, ycsb.OpModify, ycsb.OpScan} {
 		h := result.ByOp[op]

@@ -40,6 +40,30 @@ func TestRunKVSmoke(t *testing.T) {
 	assertTableShape(t, out.String(), "YCSB-A on kv store, hyperloop backend (40 records, 120 ops)")
 }
 
+func TestRunShardedSmoke(t *testing.T) {
+	var out strings.Builder
+	if err := run(smokeArgs("-shards", "8", "-workload", "A"), &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	assertTableShape(t, out.String(), "YCSB-A on sharded×8 store, hyperloop backend (40 records, 120 ops)")
+}
+
+func TestRunShardedTxnPath(t *testing.T) {
+	// Workload F's read-modify-writes go through the cross-shard 2PC path.
+	var out strings.Builder
+	if err := run(smokeArgs("-shards", "4", "-workload", "F", "-backend", "naive-event"), &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	got := out.String()
+	assertTableShape(t, got, "YCSB-F on sharded×4 store, naive-event backend (40 records, 120 ops)")
+	if !strings.Contains(got, "modify") {
+		t.Errorf("no read-modify-write rows in sharded txn run:\n%s", got)
+	}
+	if strings.Contains(got, "errors:") {
+		t.Errorf("sharded txn run reported op errors:\n%s", got)
+	}
+}
+
 func TestRunDocSmoke(t *testing.T) {
 	var out strings.Builder
 	if err := run(smokeArgs("-db", "doc", "-workload", "B", "-backend", "naive-event"), &out); err != nil {

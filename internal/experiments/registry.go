@@ -35,6 +35,7 @@ var registry = map[string]entry{
 	"abl-consistency": {ablationConsistency, "ablation: weaker consistency models (§7)"},
 	"failover":        {failover, "mid-chain replica crash: detection, catch-up, resume (§5)"},
 	"protocols":       {protocolsExp, "replication protocol comparison: latency, message cost, availability"},
+	"shards":          {shardsExp, "sharded scale-out: placement, tenant skew, cross-shard 2PC"},
 }
 
 // Names returns all experiment ids, sorted.
@@ -83,6 +84,6 @@ func PaperOrder() []string {
 		"fig8a", "fig8b", "table2", "fig9", "fig10",
 		"fig11", "fig12",
 		"abl-load", "abl-flush", "abl-depth", "abl-fanout", "abl-consistency",
-		"failover", "protocols",
+		"failover", "protocols", "shards",
 	}
 }

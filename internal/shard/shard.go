@@ -1,0 +1,352 @@
+// Package shard partitions a keyspace across many independent replication
+// groups. Each shard owns its own protocol group — its own chain, NICs and
+// fault domain — and a client-side Router maps keys to shards, serves
+// single-key reads and durable writes, and runs cross-shard transactions
+// with internal/txn's two-phase commit over the per-shard group locks.
+//
+// Consistency contract: operations within one shard are strictly
+// serializable (they ride the shard's single replication group, §4 of the
+// paper). Cross-shard transactions are atomic and serializable via 2PC
+// with lock ordering by shard ID ("strong partition serializable":
+// serializable globally, strictly so per partition).
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"hyperloop/internal/sim"
+	"hyperloop/internal/txn"
+	"hyperloop/internal/wal"
+)
+
+// Canonical error sentinels, matching the internal/protocol convention.
+var (
+	// ErrBadArgument reports a key, payload or config outside the router's
+	// contract.
+	ErrBadArgument = errors.New("shard: bad argument")
+	// ErrShardFull reports a shard whose slot directory is exhausted: more
+	// distinct keys landed on it than SlotsPerShard.
+	ErrShardFull = errors.New("shard: out of slots")
+)
+
+// Policy selects how keys map to shards.
+type Policy int
+
+const (
+	// Hash spreads keys uniformly with a 64-bit mix — the default, robust
+	// to any key distribution.
+	Hash Policy = iota
+	// Range splits [0, Keys) into contiguous runs, one per shard —
+	// preserves key locality, exposes skew.
+	Range
+)
+
+func (p Policy) String() string {
+	switch p {
+	case Hash:
+		return "hash"
+	case Range:
+		return "range"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// Config sizes a Router and the per-shard stores beneath it.
+type Config struct {
+	// Shards is the number of partitions (required, ≥ 1).
+	Shards int
+	// Policy maps keys to shards (default Hash). Range requires Keys.
+	Policy Policy
+	// Keys is the keyspace size [0, Keys); required for Range, advisory
+	// for Hash.
+	Keys uint64
+	// SlotSize is the fixed per-key value capacity in the shard's data
+	// region (default 128).
+	SlotSize int
+	// SlotsPerShard caps distinct keys per shard (default 64).
+	SlotsPerShard int
+	// LogSize is each shard store's WAL ring size (default 4096).
+	LogSize int
+	// LockToken identifies this router in the per-shard group lock words
+	// (default 1).
+	LockToken uint64
+}
+
+func (c *Config) fill() error {
+	if c.Shards < 1 {
+		return fmt.Errorf("%w: need at least one shard", ErrBadArgument)
+	}
+	if c.SlotSize <= 0 {
+		c.SlotSize = 128
+	}
+	if c.SlotsPerShard <= 0 {
+		c.SlotsPerShard = 64
+	}
+	if c.LogSize <= 0 {
+		c.LogSize = 4096
+	}
+	if c.LockToken == 0 {
+		c.LockToken = 1
+	}
+	if c.Policy == Range && c.Keys == 0 {
+		return fmt.Errorf("%w: range policy needs Keys", ErrBadArgument)
+	}
+	return nil
+}
+
+// MirrorSize returns the mirror footprint each shard's group must provide
+// for this config. Callers size their protocol groups with it before
+// building the Router.
+func (c Config) MirrorSize() int {
+	if err := c.fill(); err != nil {
+		return 0
+	}
+	return txn.MirrorSizeFor(c.LogSize, c.SlotsPerShard*c.SlotSize)
+}
+
+// Backend is the replication group one shard runs on: the txn.Replicator
+// surface plus teardown. *hyperloop.Group and every internal/protocol
+// strategy satisfy it.
+type Backend interface {
+	txn.Replicator
+	Close()
+}
+
+// slot is one key's home in a shard's data region.
+type slot struct {
+	idx int // slot index, data offset = idx*SlotSize
+	n   int // bytes written by the last Put
+}
+
+// Shard is one partition: a replication group, the transactional store on
+// top of it, and the client-side slot directory.
+type Shard struct {
+	ID      int
+	Backend Backend
+	Store   *txn.Store
+
+	dir  map[uint64]*slot
+	next int
+}
+
+// slotFor returns key's slot, allocating the next free one on first touch.
+func (s *Shard) slotFor(key uint64, size int) (*slot, error) {
+	if sl, ok := s.dir[key]; ok {
+		return sl, nil
+	}
+	if s.next >= size {
+		return nil, fmt.Errorf("%w: shard %d at %d keys", ErrShardFull, s.ID, s.next)
+	}
+	sl := &slot{idx: s.next}
+	s.next++
+	s.dir[key] = sl
+	return sl, nil
+}
+
+// Write is one key update inside a (possibly cross-shard) transaction.
+type Write struct {
+	Key  uint64
+	Data []byte
+}
+
+// Stats counts router-level outcomes.
+type Stats struct {
+	Puts, Gets uint64 // single-key operations served
+	Commits    uint64 // transactions committed
+	Aborts     uint64 // transactions aborted (2PC prepare failures)
+	CrossShard uint64 // committed transactions spanning >1 shard
+}
+
+// Router maps keys onto shards and drives operations against them. A
+// Router is driven from simulation fibers on one kernel; like the groups
+// beneath it, it is not safe for concurrent use from real OS threads.
+type Router struct {
+	cfg    Config
+	shards []*Shard
+	stats  Stats
+}
+
+// New builds a Router with cfg.Shards shards, calling build once per shard
+// to produce its replication group. Each group must be independent (its
+// own NICs and device — mirrors start at device offset 0, so groups cannot
+// share) and sized to at least cfg.MirrorSize().
+func New(cfg Config, build func(shardID int) (Backend, error)) (*Router, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	r := &Router{cfg: cfg}
+	for i := 0; i < cfg.Shards; i++ {
+		b, err := build(i)
+		if err != nil {
+			r.Close()
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		st, err := txn.New(b, txn.Config{
+			LogSize:   cfg.LogSize,
+			DataSize:  cfg.SlotsPerShard * cfg.SlotSize,
+			LockToken: cfg.LockToken,
+		})
+		if err != nil {
+			b.Close()
+			r.Close()
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		r.shards = append(r.shards, &Shard{
+			ID:      i,
+			Backend: b,
+			Store:   st,
+			dir:     make(map[uint64]*slot),
+		})
+	}
+	return r, nil
+}
+
+// Shards returns the number of partitions.
+func (r *Router) Shards() int { return len(r.shards) }
+
+// Shard returns partition i (experiments and tests reach through it for
+// per-shard stores and backends).
+func (r *Router) Shard(i int) *Shard { return r.shards[i] }
+
+// Stats returns a snapshot of router-level counters.
+func (r *Router) Stats() Stats { return r.stats }
+
+// mix64 is the splitmix64 finalizer — a full-avalanche 64-bit mix, so
+// sequential keys spread uniformly across shards.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// ShardOf returns the shard index owning key. Deterministic: a pure
+// function of (key, Shards, Policy, Keys).
+func (r *Router) ShardOf(key uint64) int {
+	n := uint64(len(r.shards))
+	switch r.cfg.Policy {
+	case Range:
+		width := (r.cfg.Keys + n - 1) / n
+		s := key / width
+		if s >= n {
+			s = n - 1
+		}
+		return int(s)
+	default:
+		return int(mix64(key) % n)
+	}
+}
+
+// Put durably writes data as key's value: replicated to every member of
+// the owning shard's group before it returns. len(data) must fit SlotSize.
+func (r *Router) Put(f *sim.Fiber, key uint64, data []byte) error {
+	if len(data) > r.cfg.SlotSize {
+		return fmt.Errorf("%w: value %d exceeds slot size %d", ErrBadArgument, len(data), r.cfg.SlotSize)
+	}
+	sh := r.shards[r.ShardOf(key)]
+	sl, err := sh.slotFor(key, r.cfg.SlotsPerShard)
+	if err != nil {
+		return err
+	}
+	if err := sh.Store.WriteData(f, sl.idx*r.cfg.SlotSize, data); err != nil {
+		return err
+	}
+	sl.n = len(data)
+	r.stats.Puts++
+	return nil
+}
+
+// Get returns key's current value from the owning shard's local mirror, or
+// nil if the key has never been written.
+func (r *Router) Get(key uint64) ([]byte, error) {
+	sh := r.shards[r.ShardOf(key)]
+	sl, ok := sh.dir[key]
+	if !ok || sl.n == 0 {
+		return nil, nil
+	}
+	r.stats.Gets++
+	return sh.Store.ReadData(sl.idx*r.cfg.SlotSize, sl.n)
+}
+
+// Txn atomically applies writes, which may span shards. Writes are grouped
+// per shard and the participant list is sorted by shard ID — the global
+// lock order that keeps concurrent routers deadlock-free — then driven
+// through txn's two-phase commit. On abort (some shard's prepare failed)
+// the error wraps txn.ErrAborted and no write took effect.
+func (r *Router) Txn(f *sim.Fiber, writes []Write) error {
+	if len(writes) == 0 {
+		return nil
+	}
+	byShard := make(map[int][]wal.Entry)
+	for _, w := range writes {
+		if len(w.Data) > r.cfg.SlotSize {
+			return fmt.Errorf("%w: value %d exceeds slot size %d", ErrBadArgument, len(w.Data), r.cfg.SlotSize)
+		}
+		sh := r.shards[r.ShardOf(w.Key)]
+		sl, err := sh.slotFor(w.Key, r.cfg.SlotsPerShard)
+		if err != nil {
+			return err
+		}
+		byShard[sh.ID] = append(byShard[sh.ID], wal.Entry{Off: sl.idx * r.cfg.SlotSize, Data: w.Data})
+	}
+	ids := make([]int, 0, len(byShard))
+	for id := range byShard {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	parts := make([]txn.Participant, len(ids))
+	for i, id := range ids {
+		parts[i] = txn.Participant{Store: r.shards[id].Store, Entries: byShard[id]}
+	}
+	tx := txn.BeginDist(parts)
+	if err := tx.Prepare(f); err != nil {
+		r.stats.Aborts++
+		return err
+	}
+	if err := tx.Commit(f); err != nil {
+		return err
+	}
+	// The commit drained each participant's log (ExecuteAll), so the
+	// post-commit value lengths are visible to Get.
+	for _, w := range writes {
+		r.shards[r.ShardOf(w.Key)].dir[w.Key].n = len(w.Data)
+	}
+	r.stats.Commits++
+	if len(ids) > 1 {
+		r.stats.CrossShard++
+	}
+	return nil
+}
+
+// Recover resolves orphaned prepared transactions on every shard (e.g.
+// after a coordinator crash between prepare and commit) by rolling them
+// back with txn.RecoverAbort. It returns the number of shards rolled back.
+func (r *Router) Recover(f *sim.Fiber) (int, error) {
+	rolled := 0
+	var errs []error
+	for _, sh := range r.shards {
+		ok, err := txn.RecoverAbort(f, sh.Store, r.cfg.LockToken)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("shard %d: %w", sh.ID, err))
+			continue
+		}
+		if ok {
+			rolled++
+		}
+	}
+	return rolled, errors.Join(errs...)
+}
+
+// Close tears down every shard's replication group.
+func (r *Router) Close() {
+	for _, sh := range r.shards {
+		if sh.Backend != nil {
+			sh.Backend.Close()
+		}
+	}
+}

@@ -1,0 +1,219 @@
+package txn
+
+import (
+	"errors"
+	"fmt"
+
+	"hyperloop/internal/sim"
+	"hyperloop/internal/wal"
+)
+
+// Two-phase commit across independently replicated stores. Each Store sits
+// on its own replication group (its own chain, NICs and fault domain — see
+// internal/shard), so a transaction spanning several of them cannot ride a
+// single group ACK. Instead the coordinator runs classic presumed-abort
+// 2PC built from the primitives §5 already provides:
+//
+//	prepare  = per store: group write lock (gCAS), append the write-set
+//	           record to the store's replicated WAL (gWRITE + gFLUSH).
+//	           A prepared record is durable on every member but not yet
+//	           applied to the database region.
+//	commit   = per store: ExecuteAll (gMEMCPY + gFLUSH per entry, head
+//	           advance) and release the lock.
+//	abort    = per store: roll the durable tail pointer back over the
+//	           prepared record and release the lock.
+//
+// There is no separate commit record: a coordinator that vanishes between
+// prepare and commit leaves locked stores with prepared-but-unexecuted
+// records, and recovery resolves them with RecoverAbort (presumed abort).
+//
+// Deadlock avoidance is by lock ordering: callers must list participants
+// in a globally consistent order (internal/shard sorts by shard ID), so
+// two racing coordinators contend on the first common store instead of
+// deadlocking on each other's suffixes.
+
+// ErrAborted wraps every error returned from a failed Prepare: the
+// transaction took effect nowhere (prepared participants were rolled back
+// and unlocked as far as their groups allowed).
+var ErrAborted = errors.New("txn: distributed transaction aborted")
+
+// ErrInDoubt wraps errors from a failed Commit: at least one participant
+// prepared but the commit pass could not finish everywhere. Commit may be
+// retried (it skips participants already committed); giving up instead
+// requires operator-level recovery, not Abort.
+var ErrInDoubt = errors.New("txn: distributed commit incomplete")
+
+// Participant is one store's slice of a distributed transaction.
+type Participant struct {
+	// Store is the participant's replicated store. Stores must be distinct.
+	Store *Store
+	// Entries is the write-set applied to this store's data region.
+	Entries []wal.Entry
+}
+
+// txnState tracks one participant's progress through the protocol.
+type txnState int
+
+const (
+	stIdle     txnState = iota
+	stLocked            // write lock held, nothing appended
+	stPrepared          // locked + record durably appended
+	stDone              // committed or rolled back, lock released
+)
+
+// DistTxn is one distributed transaction. The zero value is invalid; use
+// BeginDist. A DistTxn is driven by a single fiber and is not reusable:
+// after Commit or Abort returns it is spent.
+type DistTxn struct {
+	parts []Participant
+	state []txnState
+	tails []int // pre-prepare tail snapshot, valid once state ≥ stLocked
+}
+
+// BeginDist starts a distributed transaction over the given participants,
+// in the given (deadlock-consistent) order.
+func BeginDist(parts []Participant) *DistTxn {
+	return &DistTxn{
+		parts: parts,
+		state: make([]txnState, len(parts)),
+		tails: make([]int, len(parts)),
+	}
+}
+
+// Prepare runs phase one: in participant order, take the store's group
+// write lock, snapshot its tail, and durably append the write-set record.
+// On any failure the prepared prefix is rolled back and unlocked
+// (best-effort — a participant whose group is down keeps its lock until
+// RecoverAbort) and the cause is returned wrapped in ErrAborted.
+func (t *DistTxn) Prepare(f *sim.Fiber) error {
+	for i := range t.parts {
+		p := &t.parts[i]
+		if err := p.Store.WrLock(f); err != nil {
+			return t.failPrepare(f, fmt.Errorf("participant %d lock: %w", i, err))
+		}
+		t.state[i] = stLocked
+		tail, err := p.Store.Tail()
+		if err != nil {
+			return t.failPrepare(f, fmt.Errorf("participant %d tail: %w", i, err))
+		}
+		t.tails[i] = tail
+		if _, err := p.Store.Append(f, p.Entries); err != nil {
+			return t.failPrepare(f, fmt.Errorf("participant %d append: %w", i, err))
+		}
+		t.state[i] = stPrepared
+	}
+	return nil
+}
+
+// failPrepare aborts everything the failed Prepare managed to do and
+// returns cause wrapped in ErrAborted (with any rollback errors joined).
+func (t *DistTxn) failPrepare(f *sim.Fiber, cause error) error {
+	if err := t.rollback(f); err != nil {
+		cause = errors.Join(cause, err)
+	}
+	return fmt.Errorf("%w: %w", ErrAborted, cause)
+}
+
+// Commit runs phase two: in participant order, apply the prepared record
+// (ExecuteAll) and release the lock. All participants must be prepared.
+// On failure Commit returns ErrInDoubt and may be called again — finished
+// participants are skipped, so a retry resumes where the fault hit.
+func (t *DistTxn) Commit(f *sim.Fiber) error {
+	for i := range t.parts {
+		if t.state[i] == stDone {
+			continue
+		}
+		if t.state[i] != stPrepared {
+			return fmt.Errorf("%w: participant %d not prepared", ErrBadArgument, i)
+		}
+		if _, err := t.parts[i].Store.ExecuteAll(f); err != nil {
+			return fmt.Errorf("%w: participant %d execute: %w", ErrInDoubt, i, err)
+		}
+		if err := t.parts[i].Store.WrUnlock(f); err != nil {
+			return fmt.Errorf("%w: participant %d unlock: %w", ErrInDoubt, i, err)
+		}
+		t.state[i] = stDone
+	}
+	return nil
+}
+
+// Abort rolls back every participant the transaction touched: the durable
+// tail rewinds over the prepared record and the lock is released. Errors
+// from unreachable groups are joined and returned; healthy participants
+// are still cleaned up.
+func (t *DistTxn) Abort(f *sim.Fiber) error {
+	return t.rollback(f)
+}
+
+// rollback undoes lock/append on every participant not already done,
+// continuing past per-participant failures.
+func (t *DistTxn) rollback(f *sim.Fiber) error {
+	var errs []error
+	for i := range t.parts {
+		p := &t.parts[i]
+		switch t.state[i] {
+		case stPrepared:
+			if err := p.Store.writePtr(f, ctrlTailPtr, t.tails[i]); err != nil {
+				errs = append(errs, fmt.Errorf("participant %d tail rollback: %w", i, err))
+				continue // keep the lock: the store is in doubt until recovery
+			}
+			fallthrough
+		case stLocked:
+			if err := p.Store.WrUnlock(f); err != nil {
+				errs = append(errs, fmt.Errorf("participant %d unlock: %w", i, err))
+				continue
+			}
+			t.state[i] = stDone
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Prepared reports how many participants are currently in the prepared
+// state (diagnostics and tests).
+func (t *DistTxn) Prepared() int {
+	n := 0
+	for _, s := range t.state {
+		if s == stPrepared {
+			n++
+		}
+	}
+	return n
+}
+
+// RecoverAbort resolves an orphaned prepared transaction on one store
+// after its coordinator crashed between prepare and commit: if the group
+// write lock currently holds token, the durable tail is rolled back to the
+// head — discarding every prepared-but-unexecuted record — and the lock is
+// released. It reports whether a rollback happened.
+//
+// Presumed abort is sound here because there is no commit record: a
+// coordinator that reached Commit has already executed and unlocked the
+// participants it finished, and those no longer hold token. The rollback
+// targets stores whose log is drained at prepare time (every committed
+// record executed), which the shard router guarantees; pending committed
+// records would be discarded along with the prepared one.
+func RecoverAbort(f *sim.Fiber, s *Store, token uint64) (bool, error) {
+	b, err := s.r.ReadLocal(ctrlWrLock, 8)
+	if err != nil {
+		return false, err
+	}
+	if leUint64(b) != token {
+		return false, nil
+	}
+	head, err := s.Head()
+	if err != nil {
+		return false, err
+	}
+	if err := s.writePtr(f, ctrlTailPtr, head); err != nil {
+		return false, err
+	}
+	hold := s.cfg.LockToken
+	s.cfg.LockToken = token
+	err = s.WrUnlock(f)
+	s.cfg.LockToken = hold
+	if err != nil {
+		return false, err
+	}
+	return true, nil
+}

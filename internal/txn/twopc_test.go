@@ -1,0 +1,274 @@
+package txn
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"hyperloop/internal/hyperloop"
+	"hyperloop/internal/nvm"
+	"hyperloop/internal/rdma"
+	"hyperloop/internal/sim"
+	"hyperloop/internal/wal"
+)
+
+// twoPCRig is a pair of independently replicated stores on one kernel —
+// the smallest cross-shard deployment. Each store has its own client NIC
+// and replica chain, like two shards of internal/shard's router.
+type twoPCRig struct {
+	k      *sim.Kernel
+	fab    *rdma.Fabric
+	stores []*Store
+	groups []*hyperloop.Group
+}
+
+// newTwoPCRig builds nStores 2-replica chains. faults (optional) is
+// installed on the fabric before any NIC exists; opTimeout arms each
+// group's client-side timeout so faulted chains fail instead of hanging.
+func newTwoPCRig(t *testing.T, nStores int, faults *rdma.FaultPlan, opTimeout sim.Duration) *twoPCRig {
+	t.Helper()
+	k := sim.NewKernel(11)
+	fab := rdma.NewFabric(k, rdma.DefaultConfig())
+	if faults != nil {
+		if err := fab.InstallFaultPlan(faults); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rig := &twoPCRig{k: k, fab: fab}
+	mirror := MirrorSizeFor(testLog, testData)
+	for s := 0; s < nStores; s++ {
+		client, err := fab.AddNIC(fmt.Sprintf("cli-%d", s), nvm.NewDevice(fmt.Sprintf("cli-%d", s), testDev))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var reps []*rdma.NIC
+		for i := 0; i < 2; i++ {
+			host := fmt.Sprintf("s%d-r%d", s, i)
+			nic, err := fab.AddNIC(host, nvm.NewDevice(host, testDev))
+			if err != nil {
+				t.Fatal(err)
+			}
+			reps = append(reps, nic)
+		}
+		cfg := hyperloop.DefaultConfig(mirror)
+		cfg.OpTimeout = opTimeout
+		g, err := hyperloop.Setup(fab, client, reps, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := New(g, Config{LogSize: testLog, DataSize: testData, LockToken: 42})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rig.stores = append(rig.stores, st)
+		rig.groups = append(rig.groups, g)
+	}
+	return rig
+}
+
+func (r *twoPCRig) run(t *testing.T, fn func(f *sim.Fiber)) {
+	t.Helper()
+	r.k.Spawn("twopc-test", fn)
+	if err := r.k.RunUntil(r.k.Now().Add(30 * sim.Second)); err != nil {
+		t.Fatalf("kernel: %v", err)
+	}
+}
+
+// mustUnlocked fails the test if any store still holds its write lock —
+// the "no leaked group locks" invariant every abort path must keep.
+func mustUnlocked(t *testing.T, stores []*Store) {
+	t.Helper()
+	for i, st := range stores {
+		locked, err := st.Locked()
+		if err != nil {
+			t.Errorf("store %d: Locked: %v", i, err)
+			continue
+		}
+		if locked {
+			t.Errorf("store %d: write lock leaked", i)
+		}
+	}
+}
+
+func parts(stores []*Store, payload string) []Participant {
+	ps := make([]Participant, len(stores))
+	for i, st := range stores {
+		ps[i] = Participant{
+			Store:   st,
+			Entries: []wal.Entry{{Off: 64 * i, Data: []byte(fmt.Sprintf("%s-%d", payload, i))}},
+		}
+	}
+	return ps
+}
+
+func TestTwoPCCommitAppliesEverywhere(t *testing.T) {
+	rig := newTwoPCRig(t, 2, nil, 0)
+	rig.run(t, func(f *sim.Fiber) {
+		tx := BeginDist(parts(rig.stores, "commit"))
+		if err := tx.Prepare(f); err != nil {
+			t.Errorf("prepare: %v", err)
+			return
+		}
+		if got := tx.Prepared(); got != 2 {
+			t.Errorf("prepared = %d, want 2", got)
+		}
+		if err := tx.Commit(f); err != nil {
+			t.Errorf("commit: %v", err)
+			return
+		}
+		for i, st := range rig.stores {
+			want := []byte(fmt.Sprintf("commit-%d", i))
+			got, err := st.ReadData(64*i, len(want))
+			if err != nil || !bytes.Equal(got, want) {
+				t.Errorf("store %d: data = %q (%v), want %q", i, got, err, want)
+			}
+			// Applied on the replicas too, not just the client's mirror.
+			img := make([]byte, len(want))
+			if err := rig.groups[i].ReplicaNIC(1).Memory().Read(st.DataOff()+64*i, img); err != nil {
+				t.Errorf("store %d: replica read: %v", i, err)
+			} else if !bytes.Equal(img, want) {
+				t.Errorf("store %d: replica data = %q, want %q", i, img, want)
+			}
+			if used, err := st.LogUsed(); err != nil || used != 0 {
+				t.Errorf("store %d: log used = %d (%v), want 0", i, used, err)
+			}
+		}
+		mustUnlocked(t, rig.stores)
+	})
+}
+
+func TestTwoPCAbortReleasesLocksAndRollsBack(t *testing.T) {
+	rig := newTwoPCRig(t, 2, nil, 0)
+	rig.run(t, func(f *sim.Fiber) {
+		tx := BeginDist(parts(rig.stores, "abort"))
+		if err := tx.Prepare(f); err != nil {
+			t.Errorf("prepare: %v", err)
+			return
+		}
+		if err := tx.Abort(f); err != nil {
+			t.Errorf("abort: %v", err)
+			return
+		}
+		for i, st := range rig.stores {
+			if used, err := st.LogUsed(); err != nil || used != 0 {
+				t.Errorf("store %d: log used after abort = %d (%v), want 0", i, used, err)
+			}
+			got, err := st.ReadData(64*i, 5)
+			if err != nil || !bytes.Equal(got, make([]byte, 5)) {
+				t.Errorf("store %d: data leaked through abort: %q (%v)", i, got, err)
+			}
+		}
+		mustUnlocked(t, rig.stores)
+
+		// The aborted stores are immediately reusable.
+		tx2 := BeginDist(parts(rig.stores, "after"))
+		if err := tx2.Prepare(f); err != nil {
+			t.Errorf("prepare after abort: %v", err)
+			return
+		}
+		if err := tx2.Commit(f); err != nil {
+			t.Errorf("commit after abort: %v", err)
+		}
+		mustUnlocked(t, rig.stores)
+	})
+}
+
+// TestTwoPCCoordinatorCrashRecovery drives the orphaned-transaction path:
+// the coordinator prepares both stores and then "crashes" (the DistTxn is
+// dropped), leaving both groups locked with durable, unexecuted records.
+// A recovery agent resolves each store with RecoverAbort and the stores
+// come back clean: unlocked, empty logs, no data applied.
+func TestTwoPCCoordinatorCrashRecovery(t *testing.T) {
+	rig := newTwoPCRig(t, 2, nil, 0)
+	rig.run(t, func(f *sim.Fiber) {
+		tx := BeginDist(parts(rig.stores, "crash"))
+		if err := tx.Prepare(f); err != nil {
+			t.Errorf("prepare: %v", err)
+			return
+		}
+		// Coordinator crashes here: tx is never driven again.
+		for i, st := range rig.stores {
+			if locked, _ := st.Locked(); !locked {
+				t.Errorf("store %d: not locked after prepare", i)
+			}
+			if pend, err := st.PendingSeqs(); err != nil || len(pend) != 1 {
+				t.Errorf("store %d: pending = %v (%v), want one record", i, pend, err)
+			}
+		}
+		for i, st := range rig.stores {
+			rolled, err := RecoverAbort(f, st, 42)
+			if err != nil {
+				t.Errorf("store %d: recover: %v", i, err)
+				return
+			}
+			if !rolled {
+				t.Errorf("store %d: recovery found nothing to roll back", i)
+			}
+		}
+		for i, st := range rig.stores {
+			if used, err := st.LogUsed(); err != nil || used != 0 {
+				t.Errorf("store %d: log used after recovery = %d (%v)", i, used, err)
+			}
+			got, err := st.ReadData(64*i, 5)
+			if err != nil || !bytes.Equal(got, make([]byte, 5)) {
+				t.Errorf("store %d: data applied despite abort: %q (%v)", i, got, err)
+			}
+		}
+		mustUnlocked(t, rig.stores)
+
+		// RecoverAbort on a clean store is a no-op.
+		if rolled, err := RecoverAbort(f, rig.stores[0], 42); err != nil || rolled {
+			t.Errorf("recover on clean store = %v, %v; want false, nil", rolled, err)
+		}
+	})
+}
+
+// TestTwoPCPrepareTimeoutAbortsPreparedPrefix injects a fault plan that
+// kills one of store 1's replica NICs before the transaction starts. The
+// coordinator prepares store 0 (healthy), then store 1's lock CAS times
+// out; Prepare must roll store 0 back and release its lock — no leaked
+// group locks on any reachable store.
+func TestTwoPCPrepareTimeoutAbortsPreparedPrefix(t *testing.T) {
+	faults := &rdma.FaultPlan{
+		NICs: []rdma.NICFault{{Host: "s1-r1", At: sim.Time(5 * sim.Microsecond), Down: true}},
+	}
+	rig := newTwoPCRig(t, 2, faults, 200*sim.Microsecond)
+	rig.run(t, func(f *sim.Fiber) {
+		f.Sleep(50 * sim.Microsecond) // let the crash land first
+		tx := BeginDist(parts(rig.stores, "timeout"))
+		err := tx.Prepare(f)
+		if !errors.Is(err, ErrAborted) {
+			t.Errorf("prepare err = %v, want ErrAborted", err)
+			return
+		}
+		if got := tx.Prepared(); got != 0 {
+			t.Errorf("prepared after failed prepare = %d, want 0", got)
+		}
+		// Store 0 (healthy, was prepared first) must be fully rolled back.
+		st := rig.stores[0]
+		mustUnlocked(t, rig.stores[:1])
+		if used, err := st.LogUsed(); err != nil || used != 0 {
+			t.Errorf("store 0: log used = %d (%v), want 0", used, err)
+		}
+		// And usable: a single-store transaction commits straight through.
+		tx2 := BeginDist(parts(rig.stores[:1], "retry"))
+		if err := tx2.Prepare(f); err != nil {
+			t.Errorf("prepare after aborted txn: %v", err)
+			return
+		}
+		if err := tx2.Commit(f); err != nil {
+			t.Errorf("commit after aborted txn: %v", err)
+		}
+	})
+}
+
+func TestTwoPCCommitWithoutPrepare(t *testing.T) {
+	rig := newTwoPCRig(t, 1, nil, 0)
+	rig.run(t, func(f *sim.Fiber) {
+		tx := BeginDist(parts(rig.stores, "x"))
+		if err := tx.Commit(f); !errors.Is(err, ErrBadArgument) {
+			t.Errorf("commit without prepare = %v, want ErrBadArgument", err)
+		}
+	})
+}

@@ -1,0 +1,197 @@
+package hyperloop
+
+import (
+	"fmt"
+
+	"hyperloop/internal/cpusim"
+	"hyperloop/internal/nvm"
+	"hyperloop/internal/protocol"
+	"hyperloop/internal/rdma"
+	"hyperloop/internal/shard"
+	"hyperloop/internal/sim"
+)
+
+// Re-exported sharding types so downstream code needs only this package.
+type (
+	// ShardRouter partitions a keyspace across independent replication
+	// groups; see internal/shard.
+	ShardRouter = shard.Router
+	// ShardWrite is one key update inside a (possibly cross-shard)
+	// transaction.
+	ShardWrite = shard.Write
+	// ShardStats counts router-level outcomes.
+	ShardStats = shard.Stats
+	// ShardPolicy maps keys to shards (hash or range).
+	ShardPolicy = shard.Policy
+	// ShardPlacement maps shard replicas to rack servers.
+	ShardPlacement = shard.PlacementPolicy
+	// ShardRoutingConfig sizes a router's key→shard mapping and per-shard
+	// stores.
+	ShardRoutingConfig = shard.Config
+)
+
+// Shard routing and placement policies.
+const (
+	ShardHash           = shard.Hash
+	ShardRange          = shard.Range
+	PlaceRoundRobin     = shard.RoundRobin
+	PlaceTenantAffinity = shard.TenantAffinity
+)
+
+// ShardedClusterConfig sizes a sharded deployment: Shards independent
+// replication groups placed across Servers machines. Every shard gets its
+// own client NIC and per-replica NICs/devices (mirrors must start at
+// device offset 0, so groups never share a device); servers contribute
+// their CPU schedulers, hosting many NICs each, SR-IOV style.
+type ShardedClusterConfig struct {
+	// Seed drives all randomness; equal seeds reproduce runs exactly.
+	Seed uint64
+	// Shards is the number of partitions (default 4).
+	Shards int
+	// ReplicasPerShard is each group's chain length (default 3).
+	ReplicasPerShard int
+	// Servers is the rack size replicas are placed across (default
+	// max(ReplicasPerShard, 4)).
+	Servers int
+	// CoresPerServer sizes each server's CPU (default 16).
+	CoresPerServer int
+	// Protocol names the registered replication protocol each group runs
+	// (default "chain").
+	Protocol string
+	// Placement spreads replicas over servers (default PlaceRoundRobin).
+	// PlaceTenantAffinity uses TenantOf to pack a tenant's shards.
+	Placement ShardPlacement
+	// TenantOf maps a shard to its owning tenant; only consulted by
+	// PlaceTenantAffinity.
+	TenantOf func(shard int) int
+	// Routing configures the router's key→shard mapping and per-shard
+	// store sizes; Routing.Shards is overwritten with Shards.
+	Routing shard.Config
+	// DeviceExtra is per-NIC device headroom past the mirror for rings and
+	// staging buffers (default 1 MiB).
+	DeviceExtra int
+}
+
+// ShardedCluster is a built sharded deployment.
+type ShardedCluster struct {
+	kernel *sim.Kernel
+	fabric *rdma.Fabric
+	scheds []*cpusim.Scheduler
+	router *shard.Router
+}
+
+// NewShardedCluster builds the deployment: a rack of servers, one
+// replication group per shard placed across them, and a router over the
+// groups.
+func NewShardedCluster(cfg ShardedClusterConfig) (*ShardedCluster, error) {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 4
+	}
+	if cfg.ReplicasPerShard <= 0 {
+		cfg.ReplicasPerShard = 3
+	}
+	if cfg.Servers <= 0 {
+		cfg.Servers = cfg.ReplicasPerShard
+		if cfg.Servers < 4 {
+			cfg.Servers = 4
+		}
+	}
+	if cfg.CoresPerServer <= 0 {
+		cfg.CoresPerServer = 16
+	}
+	if cfg.Protocol == "" {
+		cfg.Protocol = "chain"
+	}
+	if cfg.DeviceExtra <= 0 {
+		cfg.DeviceExtra = 1 << 20
+	}
+	cfg.Routing.Shards = cfg.Shards
+
+	k := sim.NewKernel(cfg.Seed)
+	fab := rdma.NewFabric(k, rdma.DefaultConfig())
+	c := &ShardedCluster{kernel: k, fabric: fab}
+	for s := 0; s < cfg.Servers; s++ {
+		sched, err := cpusim.New(k, cpusim.DefaultConfig(cfg.CoresPerServer))
+		if err != nil {
+			return nil, err
+		}
+		c.scheds = append(c.scheds, sched)
+	}
+	place, err := shard.Place(cfg.Placement, cfg.Shards, cfg.ReplicasPerShard, cfg.Servers, cfg.TenantOf)
+	if err != nil {
+		return nil, err
+	}
+	mirror := cfg.Routing.MirrorSize()
+	if mirror <= 0 {
+		return nil, fmt.Errorf("hyperloop: invalid shard routing config")
+	}
+	devSize := mirror + cfg.DeviceExtra
+	c.router, err = shard.New(cfg.Routing, func(id int) (shard.Backend, error) {
+		name := fmt.Sprintf("cli/sh%d", id)
+		client, err := fab.AddNIC(name, nvm.NewDevice(name, devSize))
+		if err != nil {
+			return nil, err
+		}
+		env := protocol.Env{Fabric: fab, Client: client}
+		for j, srv := range place[id] {
+			host := fmt.Sprintf("srv%d/sh%d.%d", srv, id, j)
+			nic, err := fab.AddNIC(host, nvm.NewDevice(host, devSize))
+			if err != nil {
+				return nil, err
+			}
+			env.Replicas = append(env.Replicas, nic)
+			env.Scheds = append(env.Scheds, c.scheds[srv])
+		}
+		return protocol.Build(cfg.Protocol, env, protocol.Params{MirrorSize: mirror})
+	})
+	if err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Router returns the shard router: Put/Get for single-key operations and
+// Txn for atomic (cross-shard) transactions.
+func (c *ShardedCluster) Router() *ShardRouter { return c.router }
+
+// Kernel exposes the simulation kernel.
+func (c *ShardedCluster) Kernel() *sim.Kernel { return c.kernel }
+
+// Fabric exposes the RDMA fabric shared by all groups.
+func (c *ShardedCluster) Fabric() *rdma.Fabric { return c.fabric }
+
+// Schedulers returns each rack server's CPU scheduler.
+func (c *ShardedCluster) Schedulers() []*cpusim.Scheduler {
+	out := make([]*cpusim.Scheduler, len(c.scheds))
+	copy(out, c.scheds)
+	return out
+}
+
+// Run spawns fn as a fiber and drives the simulation until fn returns,
+// mirroring Cluster.Run.
+func (c *ShardedCluster) Run(fn func(f *Fiber) error) error {
+	var fnErr error
+	done := false
+	c.kernel.Spawn("main", func(f *sim.Fiber) {
+		fnErr = fn(f)
+		done = true
+		c.kernel.StopRun()
+	})
+	err := c.kernel.RunUntil(c.kernel.Now().Add(3600 * sim.Second))
+	if err == sim.ErrStopped {
+		err = nil
+	}
+	if err != nil {
+		return err
+	}
+	if fnErr != nil {
+		return fnErr
+	}
+	if !done {
+		return fmt.Errorf("hyperloop: run did not complete within the simulation horizon")
+	}
+	return nil
+}
+
+// Close tears down every shard's replication group.
+func (c *ShardedCluster) Close() { c.router.Close() }

@@ -1,0 +1,103 @@
+package hyperloop
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestShardedClusterDefaults(t *testing.T) {
+	c, err := NewShardedCluster(ShardedClusterConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if got := c.Router().Shards(); got != 4 {
+		t.Fatalf("default shards = %d", got)
+	}
+	if len(c.Schedulers()) != 4 {
+		t.Fatalf("schedulers = %d", len(c.Schedulers()))
+	}
+	if c.Kernel() == nil || c.Fabric() == nil {
+		t.Fatal("accessors returned nil")
+	}
+}
+
+func TestShardedFacadeFlow(t *testing.T) {
+	c, err := NewShardedCluster(ShardedClusterConfig{
+		Seed:             7,
+		Shards:           8,
+		ReplicasPerShard: 2,
+		Servers:          4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	r := c.Router()
+	err = c.Run(func(f *Fiber) error {
+		for k := uint64(0); k < 32; k++ {
+			if err := r.Put(f, k, []byte{byte(k), byte(k + 1)}); err != nil {
+				return err
+			}
+		}
+		// A cross-shard transaction through the facade types.
+		return r.Txn(f, []ShardWrite{
+			{Key: 100, Data: []byte("a")},
+			{Key: 200, Data: []byte("b")},
+			{Key: 300, Data: []byte("c")},
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < 32; k++ {
+		got, err := r.Get(k)
+		if err != nil || !bytes.Equal(got, []byte{byte(k), byte(k + 1)}) {
+			t.Fatalf("get %d = %v (%v)", k, got, err)
+		}
+	}
+	if got, _ := r.Get(200); !bytes.Equal(got, []byte("b")) {
+		t.Fatalf("txn write lost: %v", got)
+	}
+	st := r.Stats()
+	if st.Puts != 32 || st.Commits != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestShardedClusterNaiveAffinity(t *testing.T) {
+	c, err := NewShardedCluster(ShardedClusterConfig{
+		Seed:             3,
+		Shards:           6,
+		ReplicasPerShard: 2,
+		Servers:          6,
+		CoresPerServer:   2,
+		Protocol:         "naive",
+		Placement:        PlaceTenantAffinity,
+		TenantOf:         func(s int) int { return s / 2 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	r := c.Router()
+	if err := c.Run(func(f *Fiber) error {
+		return r.Put(f, 42, []byte("naive"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := r.Get(42); string(got) != "naive" {
+		t.Fatalf("get = %q", got)
+	}
+}
+
+func TestShardedClusterBadConfig(t *testing.T) {
+	if _, err := NewShardedCluster(ShardedClusterConfig{Protocol: "no-such-protocol"}); err == nil {
+		t.Fatal("unknown protocol accepted")
+	}
+	if _, err := NewShardedCluster(ShardedClusterConfig{
+		Placement: PlaceTenantAffinity, // no TenantOf
+	}); err == nil {
+		t.Fatal("affinity without TenantOf accepted")
+	}
+}
