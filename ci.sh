@@ -162,6 +162,7 @@ stage_test() {
     step "coverage internal/ring >=90" covercheck ./internal/ring 90
     step "coverage internal/hypotheses >=85" covercheck ./internal/hypotheses 85
     step "coverage internal/shard >=85" covercheck ./internal/shard 85
+    step "coverage internal/txn >=85" covercheck ./internal/txn 85
     # BENCH_baseline.json must decode against the current -json schema and
     # cover the current experiment registry (also part of `go test ./...`
     # above; run it by name so a staleness failure is unmistakable in CI

@@ -208,6 +208,7 @@ func CatalogOrder() []string {
 		"multi-failure",
 		"partition-failover",
 		"flush-storm",
+		"2pc-recovery",
 		"tenant-interference",
 	}
 }

@@ -1,0 +1,294 @@
+package hypotheses
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"hyperloop/internal/metrics"
+	"hyperloop/internal/nvm"
+	"hyperloop/internal/protocol"
+	"hyperloop/internal/rdma"
+	"hyperloop/internal/shard"
+	"hyperloop/internal/sim"
+	"hyperloop/internal/txn"
+)
+
+func init() {
+	register("2pc-recovery",
+		"A durable coordinator commit record makes 2PC crash recovery unambiguous: "+
+			"whatever protocol step the coordinator dies at, recovery rolls "+
+			"record-bearing transactions forward and record-less ones back, so "+
+			"post-recovery visibility is all-or-nothing on every shard and every "+
+			"replica, no group lock leaks, the commit log drains, and the client's "+
+			"retry commits exactly once — even under duplicated and delayed wire "+
+			"traffic.",
+		"kill the coordinator after every 2PC step across spans 1/2/4, recover, audit visibility/locks/log",
+		run2PCRecovery)
+}
+
+// Deployment shape: r2Shards 2-replica chain groups plus a dedicated
+// 2-replica coordinator-log group, range-partitioned so key i lives on
+// shard i (span-S transactions touch exactly shards 0..S-1, slot 0).
+const (
+	r2Shards     = 4
+	r2SlotSize   = 64
+	r2Slots      = 8
+	r2LogSize    = 1024
+	r2CoordLog   = 256
+	r2CoordSlots = 8
+	r2Timeout    = 500 * sim.Microsecond
+)
+
+// recoveryRig is one sharded deployment with a commit-logged router.
+type recoveryRig struct {
+	k         *sim.Kernel
+	fab       *rdma.Fabric
+	router    *shard.Router
+	shardNICs [][]*rdma.NIC // per shard, its replica NICs
+}
+
+func newRecoveryRig(seed uint64, faults *rdma.FaultPlan) (*recoveryRig, error) {
+	k := sim.NewKernel(seed)
+	fab := rdma.NewFabric(k, rdma.DefaultConfig())
+	if faults != nil {
+		if err := fab.InstallFaultPlan(faults); err != nil {
+			return nil, err
+		}
+	}
+	rig := &recoveryRig{k: k, fab: fab}
+
+	buildGroup := func(name string, mirror int) (protocol.Protocol, []*rdma.NIC, error) {
+		client, err := fab.AddNIC("cli-"+name, nvm.NewDevice("cli-"+name, devSize(mirror)))
+		if err != nil {
+			return nil, nil, err
+		}
+		var reps []*rdma.NIC
+		for j := 0; j < 2; j++ {
+			host := fmt.Sprintf("%s-r%d", name, j)
+			nic, err := fab.AddNIC(host, nvm.NewDevice(host, devSize(mirror)))
+			if err != nil {
+				return nil, nil, err
+			}
+			reps = append(reps, nic)
+		}
+		g, err := protocol.Build("chain", protocol.Env{Fabric: fab, Client: client, Replicas: reps},
+			protocol.Params{MirrorSize: mirror, OpTimeout: r2Timeout})
+		if err != nil {
+			return nil, nil, err
+		}
+		return g, reps, nil
+	}
+
+	clData := txn.CommitLogSizeFor(r2CoordSlots, r2Shards)
+	coordGroup, _, err := buildGroup("coord", txn.MirrorSizeFor(r2CoordLog, clData))
+	if err != nil {
+		return nil, err
+	}
+	coordStore, err := txn.New(coordGroup, txn.Config{LogSize: r2CoordLog, DataSize: clData})
+	if err != nil {
+		return nil, err
+	}
+
+	cfg := shard.Config{
+		Shards: r2Shards, Policy: shard.Range, Keys: r2Shards,
+		SlotSize: r2SlotSize, SlotsPerShard: r2Slots, LogSize: r2LogSize,
+		CoordLog: coordStore,
+	}
+	rig.router, err = shard.New(cfg, func(id int) (shard.Backend, error) {
+		g, reps, err := buildGroup(fmt.Sprintf("sh%d", id), cfg.MirrorSize())
+		if err != nil {
+			return nil, err
+		}
+		rig.shardNICs = append(rig.shardNICs, reps)
+		return g, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rig, nil
+}
+
+// drive mirrors deployment.drive for the recovery rig.
+func (r *recoveryRig) drive(fn func(f *sim.Fiber) error) error {
+	var runErr error
+	done := false
+	r.k.Spawn("2pc-recovery-driver", func(f *sim.Fiber) {
+		defer r.k.StopRun()
+		runErr = fn(f)
+		done = true
+	})
+	err := r.k.RunUntil(r.k.Now().Add(60 * sim.Second))
+	if err != nil && err != sim.ErrStopped {
+		return err
+	}
+	if runErr != nil {
+		return runErr
+	}
+	if !done {
+		return fmt.Errorf("driver hung")
+	}
+	return nil
+}
+
+func (r *recoveryRig) counters() Counters {
+	msgs, bytes := r.fab.Stats()
+	fs := r.fab.FaultStats()
+	return Counters{
+		SimEvents: r.k.Executed(),
+		CQEs:      r.fab.CQEs(),
+		Messages:  msgs,
+		WireBytes: bytes,
+		Drops:     fs.Drops,
+		Dups:      fs.Dups,
+	}
+}
+
+func run2PCRecovery(seed uint64, sc Scale) (*Result, error) {
+	res := &Result{}
+	table := metrics.NewTable("coordinator crash-point sweep, recovery by the commit-record rule",
+		"leg", "span", "kill points", "rolled back", "rolled forward", "lock leaks", "retry commits")
+	legs := []struct {
+		name   string
+		faults func() *rdma.FaultPlan
+	}{
+		{"clean", func() *rdma.FaultPlan { return nil }},
+		{"dup+delay", func() *rdma.FaultPlan {
+			return &rdma.FaultPlan{Links: []rdma.LinkFault{
+				{DupProb: 0.05, ExtraDelay: 2 * sim.Microsecond},
+			}}
+		}},
+	}
+	// Full scale stresses each recovered deployment with extra
+	// post-recovery transactions; quick proves the decision rule.
+	afterTxns := sc.pick(1, 8)
+
+	for _, leg := range legs {
+		for _, span := range []int{1, 2, 4} {
+			// Coordinator steps: (lock, append) per shard, log-commit,
+			// (execute, unlock) per shard, log-truncate.
+			totalSteps := 4*span + 2
+			commitPoint := 2*span + 1
+			rolledBack, rolledForward, lockLeaks, retryCommits := 0, 0, 0, 0
+			mixedVisibility := 0 // kill points whose outcome was not all-or-nothing
+			logResidue := 0      // kill points leaving live commit records after recovery
+			for kill := 1; kill <= totalSteps; kill++ {
+				rig, err := newRecoveryRig(seed+uint64(1000*span+kill), leg.faults())
+				if err != nil {
+					return nil, fmt.Errorf("%s span %d kill %d: %w", leg.name, span, kill, err)
+				}
+				writes := make([]shard.Write, span)
+				for i := range writes {
+					writes[i] = shard.Write{Key: uint64(i), Data: []byte(fmt.Sprintf("p%d", i))}
+				}
+				err = rig.drive(func(f *sim.Fiber) error {
+					step := 0
+					rig.router.SetTxnStepHook(func(s txn.Step, participant int) error {
+						step++
+						if step == kill {
+							return txn.ErrCoordinatorCrash
+						}
+						return nil
+					})
+					if err := rig.router.Txn(f, writes); !errors.Is(err, txn.ErrCoordinatorCrash) {
+						return fmt.Errorf("txn survived the injected crash: %v", err)
+					}
+					rig.router.SetTxnStepHook(nil)
+
+					rs, err := rig.router.Recover(f)
+					if err != nil {
+						return fmt.Errorf("recover: %w", err)
+					}
+					rolledBack += rs.Back
+					rolledForward += rs.Forward
+
+					// Audit: all-or-nothing visibility on the client mirror
+					// and on every replica's memory image.
+					wantCommitted := kill >= commitPoint
+					visible := 0
+					for i := 0; i < span; i++ {
+						st := rig.router.Shard(i).Store
+						want := []byte(fmt.Sprintf("p%d", i))
+						got, err := st.ReadData(0, len(want))
+						if err != nil {
+							return fmt.Errorf("shard %d read: %w", i, err)
+						}
+						shardVisible := bytes.Equal(got, want)
+						for _, nic := range rig.shardNICs[i] {
+							img := make([]byte, len(want))
+							if err := nic.Memory().Read(st.DataOff(), img); err != nil {
+								return fmt.Errorf("shard %d replica read: %w", i, err)
+							}
+							if bytes.Equal(img, want) != shardVisible {
+								return fmt.Errorf("shard %d: replica image diverges from client mirror", i)
+							}
+						}
+						if shardVisible {
+							visible++
+						}
+					}
+					committedAll := visible == span
+					if visible != 0 && !committedAll {
+						mixedVisibility++
+					} else if committedAll != wantCommitted {
+						mixedVisibility++ // wrong side of the commit point
+					}
+					for i := 0; i < r2Shards; i++ {
+						if locked, err := rig.router.Shard(i).Store.Locked(); err != nil {
+							return err
+						} else if locked {
+							lockLeaks++
+						}
+					}
+					if recs, err := rig.router.CommitLog().Records(); err != nil {
+						return err
+					} else if len(recs) != 0 {
+						logResidue++
+					}
+
+					// The client retries, then keeps using the deployment.
+					for n := 0; n < afterTxns; n++ {
+						if err := rig.router.Txn(f, writes); err != nil {
+							return fmt.Errorf("retry %d: %w", n, err)
+						}
+					}
+					st := rig.router.Stats()
+					if st.Commits == uint64(afterTxns) && st.Aborts == 0 && st.InDoubt == 0 {
+						retryCommits++
+					}
+					return nil
+				})
+				if err != nil {
+					return nil, fmt.Errorf("%s span %d kill %d: %w", leg.name, span, kill, err)
+				}
+				res.Counters = res.Counters.add(rig.counters())
+			}
+			table.AddRow(leg.name, span, totalSteps, rolledBack, rolledForward, lockLeaks, retryCommits)
+
+			// Every pre-commit-point kill must roll back, every later one
+			// roll forward; both sides all-or-nothing.
+			res.check(fmt.Sprintf("%s span %d: post-recovery visibility is all-or-nothing at every kill point", leg.name, span),
+				mixedVisibility == 0,
+				"%d of %d kill points violated all-or-nothing or landed on the wrong side of the commit point", mixedVisibility, totalSteps)
+			res.check(fmt.Sprintf("%s span %d: no group lock leaks and the commit log drains", leg.name, span),
+				lockLeaks == 0 && logResidue == 0,
+				"%d leaked locks, %d kill points with live commit records after recovery", lockLeaks, logResidue)
+			res.check(fmt.Sprintf("%s span %d: the retried transaction commits exactly once per attempt", leg.name, span),
+				retryCommits == totalSteps,
+				"%d of %d recovered deployments committed %d retried transaction(s) cleanly", retryCommits, totalSteps, afterTxns)
+			wantFwd := (totalSteps - commitPoint + 1) * span
+			res.check(fmt.Sprintf("%s span %d: recovery rolled forward exactly the record-bearing shards", leg.name, span),
+				rolledForward <= wantFwd && rolledForward > 0,
+				"%d shards rolled forward across %d post-commit-point kills (≤%d: shards already unlocked before the crash are skipped)",
+				rolledForward, totalSteps-commitPoint+1, wantFwd)
+		}
+	}
+	res.Tables = append(res.Tables, table)
+	res.Notes = append(res.Notes,
+		"the commit record (txnID, lock token, participant shards) is durably appended to the coordinator's own 2-replica group after every participant prepared and before any executes",
+		"recovery decision rule: token-locked shard named by a record → roll forward (execute + unlock); token-locked shard with no record → roll back (presumed abort); never both for one transaction",
+		"kill points 1..2S are pre-commit-point (lock/append per shard), 2S+1 logs the record, 2S+2..4S+1 execute/unlock, 4S+2 truncates",
+		"the dup+delay leg draws from the fault plan's forked RNG stream, so both legs are seed-deterministic and the clean leg's event stream matches a fault-free run byte for byte",
+		fmt.Sprintf("each recovered deployment then serves %d follow-up transaction(s); commit/abort/in-doubt accounting must show exactly the commits", sc.pick(1, 8)))
+	return res, nil
+}

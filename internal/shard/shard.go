@@ -73,6 +73,16 @@ type Config struct {
 	// LockToken identifies this router in the per-shard group lock words
 	// (default 1).
 	LockToken uint64
+	// CoordLog, when set, is the coordinator's own replicated store used
+	// as the 2PC commit log: Txn durably appends a commit record before
+	// entering phase two and Recover presumes *commit* for transactions
+	// with a record, rolling prepared participants forward instead of
+	// aborting them. The store must sit on its own replication group
+	// (never a shard's) with DataSize ≥ txn.CommitLogSizeFor(slots,
+	// Shards). When nil, recovery presumes abort for everything — the
+	// pre-commit-log behavior, which can roll back half of a transaction
+	// whose coordinator crashed mid-Commit.
+	CoordLog *txn.Store
 }
 
 func (c *Config) fill() error {
@@ -130,20 +140,42 @@ type Shard struct {
 
 	dir  map[uint64]*slot
 	next int
+	free []int // slot indexes returned by aborted first-touch allocations
 }
 
-// slotFor returns key's slot, allocating the next free one on first touch.
-func (s *Shard) slotFor(key uint64, size int) (*slot, error) {
+// slotFor returns key's slot, allocating one on first touch — reclaimed
+// slots first, then the next never-used index. fresh reports a first
+// touch, so callers can release the slot if the operation aborts.
+func (s *Shard) slotFor(key uint64, size int) (sl *slot, fresh bool, err error) {
 	if sl, ok := s.dir[key]; ok {
-		return sl, nil
+		return sl, false, nil
 	}
-	if s.next >= size {
-		return nil, fmt.Errorf("%w: shard %d at %d keys", ErrShardFull, s.ID, s.next)
+	idx := -1
+	if n := len(s.free); n > 0 {
+		idx = s.free[n-1]
+		s.free = s.free[:n-1]
+	} else if s.next < size {
+		idx = s.next
+		s.next++
 	}
-	sl := &slot{idx: s.next}
-	s.next++
+	if idx < 0 {
+		return nil, false, fmt.Errorf("%w: shard %d at %d keys", ErrShardFull, s.ID, s.next)
+	}
+	sl = &slot{idx: idx}
 	s.dir[key] = sl
-	return sl, nil
+	return sl, true, nil
+}
+
+// release returns a freshly allocated slot to the shard after the
+// operation that allocated it aborted, so a stream of aborting
+// transactions cannot permanently consume SlotsPerShard capacity.
+func (s *Shard) release(key uint64) {
+	sl, ok := s.dir[key]
+	if !ok {
+		return
+	}
+	delete(s.dir, key)
+	s.free = append(s.free, sl.idx)
 }
 
 // Write is one key update inside a (possibly cross-shard) transaction.
@@ -154,9 +186,11 @@ type Write struct {
 
 // Stats counts router-level outcomes.
 type Stats struct {
-	Puts, Gets uint64 // single-key operations served
+	Puts, Gets uint64 // single-key operations served (Gets counts misses too)
+	Misses     uint64 // Gets of never-written keys
 	Commits    uint64 // transactions committed
-	Aborts     uint64 // transactions aborted (2PC prepare failures)
+	Aborts     uint64 // transactions aborted (2PC prepare or commit-record failures)
+	InDoubt    uint64 // transactions left in doubt mid-commit (txn.ErrInDoubt)
 	CrossShard uint64 // committed transactions spanning >1 shard
 }
 
@@ -166,6 +200,8 @@ type Stats struct {
 type Router struct {
 	cfg    Config
 	shards []*Shard
+	clog   *txn.CommitLog // nil unless cfg.CoordLog was provided
+	hook   func(txn.Step, int) error
 	stats  Stats
 }
 
@@ -178,6 +214,13 @@ func New(cfg Config, build func(shardID int) (Backend, error)) (*Router, error) 
 		return nil, err
 	}
 	r := &Router{cfg: cfg}
+	if cfg.CoordLog != nil {
+		cl, err := txn.NewCommitLog(cfg.CoordLog, cfg.Shards)
+		if err != nil {
+			return nil, fmt.Errorf("coordinator log: %w", err)
+		}
+		r.clog = cl
+	}
 	for i := 0; i < cfg.Shards; i++ {
 		b, err := build(i)
 		if err != nil {
@@ -214,6 +257,18 @@ func (r *Router) Shard(i int) *Shard { return r.shards[i] }
 // Stats returns a snapshot of router-level counters.
 func (r *Router) Stats() Stats { return r.stats }
 
+// CommitLog returns the coordinator commit log, or nil when the router
+// runs presumed-abort-only (no Config.CoordLog).
+func (r *Router) CommitLog() *txn.CommitLog { return r.clog }
+
+// SetTxnStepHook installs a coordinator step hook on every transaction
+// Txn drives — the deterministic fault-injection surface crash-point
+// sweeps use. A hook returning txn.ErrCoordinatorCrash makes Txn return
+// it verbatim with no cleanup and no stats accounting, leaving shards
+// exactly as a mid-protocol coordinator crash would; Recover resolves
+// them. Pass nil to remove the hook.
+func (r *Router) SetTxnStepHook(fn func(s txn.Step, participant int) error) { r.hook = fn }
+
 // mix64 is the splitmix64 finalizer — a full-avalanche 64-bit mix, so
 // sequential keys spread uniformly across shards.
 func mix64(x uint64) uint64 {
@@ -249,11 +304,14 @@ func (r *Router) Put(f *sim.Fiber, key uint64, data []byte) error {
 		return fmt.Errorf("%w: value %d exceeds slot size %d", ErrBadArgument, len(data), r.cfg.SlotSize)
 	}
 	sh := r.shards[r.ShardOf(key)]
-	sl, err := sh.slotFor(key, r.cfg.SlotsPerShard)
+	sl, fresh, err := sh.slotFor(key, r.cfg.SlotsPerShard)
 	if err != nil {
 		return err
 	}
 	if err := sh.Store.WriteData(f, sl.idx*r.cfg.SlotSize, data); err != nil {
+		if fresh {
+			sh.release(key)
+		}
 		return err
 	}
 	sl.n = len(data)
@@ -264,33 +322,52 @@ func (r *Router) Put(f *sim.Fiber, key uint64, data []byte) error {
 // Get returns key's current value from the owning shard's local mirror, or
 // nil if the key has never been written.
 func (r *Router) Get(key uint64) ([]byte, error) {
+	r.stats.Gets++
 	sh := r.shards[r.ShardOf(key)]
 	sl, ok := sh.dir[key]
 	if !ok || sl.n == 0 {
+		r.stats.Misses++
 		return nil, nil
 	}
-	r.stats.Gets++
 	return sh.Store.ReadData(sl.idx*r.cfg.SlotSize, sl.n)
 }
 
 // Txn atomically applies writes, which may span shards. Writes are grouped
 // per shard and the participant list is sorted by shard ID — the global
 // lock order that keeps concurrent routers deadlock-free — then driven
-// through txn's two-phase commit. On abort (some shard's prepare failed)
-// the error wraps txn.ErrAborted and no write took effect.
+// through txn's two-phase commit. On abort (some shard's prepare failed,
+// or the commit record could not be written) the error wraps
+// txn.ErrAborted, no write took effect, and slots freshly allocated for
+// this transaction are released; on txn.ErrInDoubt the transaction may
+// yet commit, so allocations are kept and Recover resolves the outcome.
 func (r *Router) Txn(f *sim.Fiber, writes []Write) error {
 	if len(writes) == 0 {
 		return nil
 	}
 	byShard := make(map[int][]wal.Entry)
+	type allocation struct {
+		sh  *Shard
+		key uint64
+	}
+	var fresh []allocation
+	release := func() {
+		for _, a := range fresh {
+			a.sh.release(a.key)
+		}
+	}
 	for _, w := range writes {
 		if len(w.Data) > r.cfg.SlotSize {
+			release()
 			return fmt.Errorf("%w: value %d exceeds slot size %d", ErrBadArgument, len(w.Data), r.cfg.SlotSize)
 		}
 		sh := r.shards[r.ShardOf(w.Key)]
-		sl, err := sh.slotFor(w.Key, r.cfg.SlotsPerShard)
+		sl, isNew, err := sh.slotFor(w.Key, r.cfg.SlotsPerShard)
 		if err != nil {
+			release()
 			return err
+		}
+		if isNew {
+			fresh = append(fresh, allocation{sh, w.Key})
 		}
 		byShard[sh.ID] = append(byShard[sh.ID], wal.Entry{Off: sl.idx * r.cfg.SlotSize, Data: w.Data})
 	}
@@ -303,12 +380,35 @@ func (r *Router) Txn(f *sim.Fiber, writes []Write) error {
 	for i, id := range ids {
 		parts[i] = txn.Participant{Store: r.shards[id].Store, Entries: byShard[id]}
 	}
-	tx := txn.BeginDist(parts)
+	tx, err := txn.BeginDistLogged(parts, r.clog, ids)
+	if err != nil {
+		release()
+		return err
+	}
+	if r.hook != nil {
+		tx.SetStepHook(r.hook)
+	}
 	if err := tx.Prepare(f); err != nil {
+		if errors.Is(err, txn.ErrCoordinatorCrash) {
+			// The injected crash killed the coordinator mid-protocol:
+			// leave every shard exactly as the crash did, no accounting.
+			return err
+		}
 		r.stats.Aborts++
+		release()
 		return err
 	}
 	if err := tx.Commit(f); err != nil {
+		switch {
+		case errors.Is(err, txn.ErrCoordinatorCrash):
+		case errors.Is(err, txn.ErrAborted):
+			// The commit record could not be written; every participant
+			// was rolled back before any executed.
+			r.stats.Aborts++
+			release()
+		case errors.Is(err, txn.ErrInDoubt):
+			r.stats.InDoubt++
+		}
 		return err
 	}
 	// The commit drained each participant's log (ExecuteAll), so the
@@ -323,23 +423,87 @@ func (r *Router) Txn(f *sim.Fiber, writes []Write) error {
 	return nil
 }
 
-// Recover resolves orphaned prepared transactions on every shard (e.g.
-// after a coordinator crash between prepare and commit) by rolling them
-// back with txn.RecoverAbort. It returns the number of shards rolled back.
-func (r *Router) Recover(f *sim.Fiber) (int, error) {
-	rolled := 0
+// RecoverStats reports what one Recover pass resolved.
+type RecoverStats struct {
+	// Forward counts shards rolled forward: prepared participants named
+	// by a durable commit record, whose pending records were executed.
+	Forward int
+	// Back counts shards rolled back: token-locked participants with no
+	// commit record (presumed abort).
+	Back int
+	// Records counts commit records resolved and truncated.
+	Records int
+}
+
+// Recover resolves orphaned transactions on every shard after a
+// coordinator crash. The coordinator commit log (when configured) is
+// consulted first: a token-locked shard named by a commit record is
+// rolled *forward* with txn.RecoverCommit — the record is only written
+// once every participant prepared, so the transaction is committed and
+// executing its prepared record finishes the job. Token-locked shards
+// named by no record roll back with txn.RecoverAbort (presumed abort,
+// sound because the record is written before any participant executes).
+// Once every shard is resolved the records are truncated; if any shard
+// failed to recover, its records are kept for the next pass.
+//
+// Recover repairs durable state, not the client-side key directory: keys
+// whose transaction was rolled forward stay invisible to Get on this
+// router until rewritten (their slots remain allocated), exactly as a
+// restarted coordinator with a cold directory would see them.
+func (r *Router) Recover(f *sim.Fiber) (RecoverStats, error) {
+	var rs RecoverStats
 	var errs []error
+	committed := make(map[int]bool)
+	var recs []txn.CommitRecord
+	if r.clog != nil {
+		var err error
+		recs, err = r.clog.Records()
+		if err != nil {
+			return rs, fmt.Errorf("coordinator log scan: %w", err)
+		}
+		for _, rec := range recs {
+			if rec.Token != r.cfg.LockToken {
+				continue
+			}
+			for _, sid := range rec.Shards {
+				committed[sid] = true
+			}
+		}
+	}
 	for _, sh := range r.shards {
+		if committed[sh.ID] {
+			_, ok, err := txn.RecoverCommit(f, sh.Store, r.cfg.LockToken)
+			if err != nil {
+				errs = append(errs, fmt.Errorf("shard %d: roll forward: %w", sh.ID, err))
+				continue
+			}
+			if ok {
+				rs.Forward++
+			}
+			continue
+		}
 		ok, err := txn.RecoverAbort(f, sh.Store, r.cfg.LockToken)
 		if err != nil {
 			errs = append(errs, fmt.Errorf("shard %d: %w", sh.ID, err))
 			continue
 		}
 		if ok {
-			rolled++
+			rs.Back++
 		}
 	}
-	return rolled, errors.Join(errs...)
+	if r.clog != nil && len(errs) == 0 {
+		for _, rec := range recs {
+			if rec.Token != r.cfg.LockToken {
+				continue
+			}
+			if err := r.clog.Truncate(f, rec.TxnID); err != nil {
+				errs = append(errs, fmt.Errorf("txn %d: record truncate: %w", rec.TxnID, err))
+				continue
+			}
+			rs.Records++
+		}
+	}
+	return rs, errors.Join(errs...)
 }
 
 // Close tears down every shard's replication group.

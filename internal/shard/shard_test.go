@@ -328,19 +328,19 @@ func TestRouterRecover(t *testing.T) {
 		if err := tx.Prepare(f); err != nil {
 			t.Fatal(err)
 		}
-		rolled, err := r.router.Recover(f)
+		rs, err := r.router.Recover(f)
 		if err != nil {
 			t.Fatalf("recover: %v", err)
 		}
-		if rolled != 1 {
-			t.Errorf("rolled %d shards, want 1", rolled)
+		if rs.Back != 1 || rs.Forward != 0 {
+			t.Errorf("recover stats = %+v, want 1 rolled back", rs)
 		}
 		if locked, _ := r.router.Shard(0).Store.Locked(); locked {
 			t.Error("lock leaked after recover")
 		}
 		// Idempotent on a clean router.
-		if rolled, err := r.router.Recover(f); err != nil || rolled != 0 {
-			t.Errorf("second recover = %d, %v; want 0, nil", rolled, err)
+		if rs, err := r.router.Recover(f); err != nil || rs != (RecoverStats{}) {
+			t.Errorf("second recover = %+v, %v; want zero stats, nil", rs, err)
 		}
 	})
 }

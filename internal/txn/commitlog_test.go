@@ -1,0 +1,216 @@
+package txn
+
+import (
+	"errors"
+	"testing"
+
+	"hyperloop/internal/sim"
+)
+
+func TestCommitLogSizing(t *testing.T) {
+	// Header(24) + 4·span + trailer(4), rounded up to 8.
+	if got := CommitLogSlotSize(1); got != 32 {
+		t.Errorf("slot size span 1 = %d, want 32", got)
+	}
+	if got := CommitLogSlotSize(4); got != 48 {
+		t.Errorf("slot size span 4 = %d, want 48", got)
+	}
+	if got := CommitLogSizeFor(16, 4); got != 16*48 {
+		t.Errorf("size for 16 slots span 4 = %d, want %d", got, 16*48)
+	}
+}
+
+func TestCommitLogBadArguments(t *testing.T) {
+	rig := newTwoPCRig(t, 1, nil, 0)
+	st := rig.stores[0]
+	if _, err := NewCommitLog(nil, 4); !errors.Is(err, ErrBadArgument) {
+		t.Errorf("nil store: %v, want ErrBadArgument", err)
+	}
+	if _, err := NewCommitLog(st, 0); !errors.Is(err, ErrBadArgument) {
+		t.Errorf("zero span: %v, want ErrBadArgument", err)
+	}
+	// A span so large no slot fits the data region.
+	if _, err := NewCommitLog(st, testData); !errors.Is(err, ErrBadArgument) {
+		t.Errorf("oversized span: %v, want ErrBadArgument", err)
+	}
+	cl, err := NewCommitLog(st, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rig.run(t, func(f *sim.Fiber) {
+		// Span-4 slots round up to 48 bytes, leaving room for 5 shard IDs;
+		// 6 must be rejected.
+		if _, err := cl.Append(f, 42, []int{0, 1, 2, 3, 4, 5}); !errors.Is(err, ErrBadArgument) {
+			t.Errorf("append past span: %v, want ErrBadArgument", err)
+		}
+	})
+}
+
+func TestCommitLogAppendTruncateRecords(t *testing.T) {
+	rig := newTwoPCRig(t, 1, nil, 0)
+	cl, err := NewCommitLog(rig.stores[0], 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rig.run(t, func(f *sim.Fiber) {
+		a, err := cl.Append(f, 42, []int{0, 2})
+		if err != nil {
+			t.Fatalf("append a: %v", err)
+		}
+		b, err := cl.Append(f, 42, []int{1})
+		if err != nil {
+			t.Fatalf("append b: %v", err)
+		}
+		if a == b {
+			t.Fatalf("txnIDs collide: %d", a)
+		}
+		recs, err := cl.Records()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs) != 2 {
+			t.Fatalf("records = %d, want 2", len(recs))
+		}
+		byID := map[uint64]CommitRecord{}
+		for _, r := range recs {
+			byID[r.TxnID] = r
+		}
+		ra := byID[a]
+		if ra.Token != 42 || len(ra.Shards) != 2 || ra.Shards[0] != 0 || ra.Shards[1] != 2 {
+			t.Errorf("record a = %+v", ra)
+		}
+		if err := cl.Truncate(f, a); err != nil {
+			t.Fatalf("truncate: %v", err)
+		}
+		// Truncating an unknown (already truncated) id is a no-op.
+		if err := cl.Truncate(f, a); err != nil {
+			t.Errorf("re-truncate: %v", err)
+		}
+		recs, err = cl.Records()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs) != 1 || recs[0].TxnID != b {
+			t.Errorf("records after truncate = %+v, want only %d", recs, b)
+		}
+	})
+}
+
+func TestCommitLogFullAndSlotReuse(t *testing.T) {
+	rig := newTwoPCRig(t, 1, nil, 0)
+	cl, err := NewCommitLog(rig.stores[0], 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rig.run(t, func(f *sim.Fiber) {
+		ids := make([]uint64, cl.Slots())
+		for i := range ids {
+			id, err := cl.Append(f, 7, []int{0})
+			if err != nil {
+				t.Fatalf("append %d/%d: %v", i, cl.Slots(), err)
+			}
+			ids[i] = id
+		}
+		if _, err := cl.Append(f, 7, []int{0}); !errors.Is(err, ErrCommitLogFull) {
+			t.Errorf("append into full log: %v, want ErrCommitLogFull", err)
+		}
+		// Truncation frees a slot for the next record.
+		if err := cl.Truncate(f, ids[3]); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cl.Append(f, 7, []int{0}); err != nil {
+			t.Errorf("append after truncate: %v", err)
+		}
+	})
+}
+
+// TestCommitLogRestart drives the coordinator-restart path: a fresh
+// CommitLog over a store holding old records must surface them from
+// Records, resume txnID allocation past them, and truncate them.
+func TestCommitLogRestart(t *testing.T) {
+	rig := newTwoPCRig(t, 1, nil, 0)
+	st := rig.stores[0]
+	cl, err := NewCommitLog(st, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rig.run(t, func(f *sim.Fiber) {
+		id, err := cl.Append(f, 42, []int{0, 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// "Restart": a brand-new CommitLog over the same durable store.
+		cl2, err := NewCommitLog(st, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs, err := cl2.Records()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs) != 1 || recs[0].TxnID != id || recs[0].Token != 42 {
+			t.Fatalf("records after restart = %+v, want txn %d", recs, id)
+		}
+		next, err := cl2.Append(f, 42, []int{1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if next <= id {
+			t.Errorf("restarted log reissued txnID %d (old max %d)", next, id)
+		}
+		if err := cl2.Truncate(f, id); err != nil {
+			t.Fatalf("truncate after restart: %v", err)
+		}
+		recs, err = cl2.Records()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs) != 1 || recs[0].TxnID != next {
+			t.Errorf("records = %+v, want only %d", recs, next)
+		}
+	})
+}
+
+// TestCommitLogRecordOnReplicas checks the commit point is replicated:
+// after Append returns, the record decodes from a replica's own memory
+// image, not just the client mirror.
+func TestCommitLogRecordOnReplicas(t *testing.T) {
+	rig := newTwoPCRig(t, 1, nil, 0)
+	st := rig.stores[0]
+	cl, err := NewCommitLog(st, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rig.run(t, func(f *sim.Fiber) {
+		id, err := cl.Append(f, 42, []int{0, 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		img := make([]byte, CommitLogSlotSize(4))
+		if err := rig.groups[0].ReplicaNIC(1).Memory().Read(st.DataOff(), img); err != nil {
+			t.Fatal(err)
+		}
+		rec, ok := decodeCommitRecord(img)
+		if !ok {
+			t.Fatal("replica image holds no valid commit record")
+		}
+		if rec.TxnID != id || rec.Token != 42 || len(rec.Shards) != 2 {
+			t.Errorf("replica record = %+v", rec)
+		}
+	})
+}
+
+func TestDecodeCommitRecordRejectsTorn(t *testing.T) {
+	buf := make([]byte, CommitLogSlotSize(4))
+	if _, ok := decodeCommitRecord(nil); ok {
+		t.Error("decoded nil buffer")
+	}
+	if _, ok := decodeCommitRecord(buf); ok {
+		t.Error("decoded zeroed slot")
+	}
+	// Valid magic but garbage CRC must be rejected (torn write).
+	buf[0], buf[1], buf[2], buf[3] = 0x50, 0x43, 0x4C, 0x48
+	if _, ok := decodeCommitRecord(buf); ok {
+		t.Error("decoded record with bad CRC")
+	}
+}

@@ -23,9 +23,16 @@ import (
 //	abort    = per store: roll the durable tail pointer back over the
 //	           prepared record and release the lock.
 //
-// There is no separate commit record: a coordinator that vanishes between
-// prepare and commit leaves locked stores with prepared-but-unexecuted
-// records, and recovery resolves them with RecoverAbort (presumed abort).
+// The commit point is a durable record on the coordinator's own
+// replicated store (see CommitLog): a logged transaction appends
+// (txnID, token, participant IDs) after every participant prepared and
+// before any executes, and truncates it once all are done. Recovery
+// therefore has an unambiguous rule — a prepared participant named by a
+// commit record rolls forward (RecoverCommit), one named by no record
+// rolls back (RecoverAbort, presumed abort). Unlogged transactions
+// (BeginDist with no CommitLog) keep the original presumed-abort-only
+// behavior and must tolerate a mid-commit coordinator crash aborting
+// participants the coordinator had not reached.
 //
 // Deadlock avoidance is by lock ordering: callers must list participants
 // in a globally consistent order (internal/shard sorts by shard ID), so
@@ -40,8 +47,52 @@ var ErrAborted = errors.New("txn: distributed transaction aborted")
 // ErrInDoubt wraps errors from a failed Commit: at least one participant
 // prepared but the commit pass could not finish everywhere. Commit may be
 // retried (it skips participants already committed); giving up instead
-// requires operator-level recovery, not Abort.
+// requires recovery (Router.Recover / RecoverCommit), not Abort.
 var ErrInDoubt = errors.New("txn: distributed commit incomplete")
+
+// ErrCoordinatorCrash is the sentinel a step hook returns to simulate the
+// coordinator vanishing mid-protocol: DistTxn returns it immediately with
+// NO cleanup, leaving every participant exactly as a real crash would —
+// locks held, records appended, nothing rolled back. Crash-point sweep
+// harnesses and the 2pc-recovery hypothesis scenario drive it.
+var ErrCoordinatorCrash = errors.New("txn: coordinator crashed (injected)")
+
+// Step identifies one coordinator-side action inside Prepare/Commit. A
+// step hook (SetStepHook) fires after each step completes, so returning
+// ErrCoordinatorCrash from it kills the coordinator at that exact point
+// in the protocol.
+type Step int
+
+// Coordinator steps, in protocol order for one participant. StepLogCommit
+// and StepLogTruncate fire once per transaction (participant index -1);
+// the rest fire once per participant.
+const (
+	StepLock        Step = iota // participant's group write lock taken
+	StepAppend                  // write-set record durably appended
+	StepLogCommit               // commit record durable on the coordinator log
+	StepExecute                 // participant's log executed into the data region
+	StepUnlock                  // participant's group lock released
+	StepLogTruncate             // commit record truncated
+)
+
+func (s Step) String() string {
+	switch s {
+	case StepLock:
+		return "lock"
+	case StepAppend:
+		return "append"
+	case StepLogCommit:
+		return "log-commit"
+	case StepExecute:
+		return "execute"
+	case StepUnlock:
+		return "unlock"
+	case StepLogTruncate:
+		return "log-truncate"
+	default:
+		return fmt.Sprintf("step(%d)", int(s))
+	}
+}
 
 // Participant is one store's slice of a distributed transaction.
 type Participant struct {
@@ -62,12 +113,18 @@ const (
 )
 
 // DistTxn is one distributed transaction. The zero value is invalid; use
-// BeginDist. A DistTxn is driven by a single fiber and is not reusable:
-// after Commit or Abort returns it is spent.
+// BeginDist or BeginDistLogged. A DistTxn is driven by a single fiber and
+// is not reusable: after Commit or Abort returns it is spent.
 type DistTxn struct {
 	parts []Participant
 	state []txnState
 	tails []int // pre-prepare tail snapshot, valid once state ≥ stLocked
+
+	clog   *CommitLog // nil for unlogged (presumed-abort-only) transactions
+	ids    []int      // participant shard IDs named in the commit record
+	txnID  uint64     // assigned by the commit log at the commit point
+	logged bool       // commit record durably appended
+	hook   func(Step, int) error
 }
 
 // BeginDist starts a distributed transaction over the given participants,
@@ -78,6 +135,41 @@ func BeginDist(parts []Participant) *DistTxn {
 		state: make([]txnState, len(parts)),
 		tails: make([]int, len(parts)),
 	}
+}
+
+// BeginDistLogged starts a distributed transaction whose commit point is
+// durably recorded on cl before phase two: Commit appends a record naming
+// shardIDs (one per participant, same order) so recovery can roll the
+// transaction forward past a coordinator crash. A nil cl degrades to
+// BeginDist.
+func BeginDistLogged(parts []Participant, cl *CommitLog, shardIDs []int) (*DistTxn, error) {
+	t := BeginDist(parts)
+	if cl == nil {
+		return t, nil
+	}
+	if len(shardIDs) != len(parts) {
+		return nil, fmt.Errorf("%w: %d shard IDs for %d participants", ErrBadArgument, len(shardIDs), len(parts))
+	}
+	t.clog = cl
+	t.ids = shardIDs
+	return t, nil
+}
+
+// TxnID returns the transaction's commit-log ID — 0 until the commit
+// record has been appended (unlogged transactions never get one).
+func (t *DistTxn) TxnID() uint64 { return t.txnID }
+
+// SetStepHook installs a hook fired after every coordinator step (see
+// Step). A non-nil hook error is returned from Prepare/Commit verbatim
+// with no cleanup — the contract crash-injection harnesses rely on.
+func (t *DistTxn) SetStepHook(fn func(s Step, participant int) error) { t.hook = fn }
+
+// step fires the hook after a completed coordinator action.
+func (t *DistTxn) step(s Step, participant int) error {
+	if t.hook == nil {
+		return nil
+	}
+	return t.hook(s, participant)
 }
 
 // Prepare runs phase one: in participant order, take the store's group
@@ -92,6 +184,9 @@ func (t *DistTxn) Prepare(f *sim.Fiber) error {
 			return t.failPrepare(f, fmt.Errorf("participant %d lock: %w", i, err))
 		}
 		t.state[i] = stLocked
+		if err := t.step(StepLock, i); err != nil {
+			return err
+		}
 		tail, err := p.Store.Tail()
 		if err != nil {
 			return t.failPrepare(f, fmt.Errorf("participant %d tail: %w", i, err))
@@ -101,6 +196,9 @@ func (t *DistTxn) Prepare(f *sim.Fiber) error {
 			return t.failPrepare(f, fmt.Errorf("participant %d append: %w", i, err))
 		}
 		t.state[i] = stPrepared
+		if err := t.step(StepAppend, i); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -114,25 +212,66 @@ func (t *DistTxn) failPrepare(f *sim.Fiber, cause error) error {
 	return fmt.Errorf("%w: %w", ErrAborted, cause)
 }
 
-// Commit runs phase two: in participant order, apply the prepared record
-// (ExecuteAll) and release the lock. All participants must be prepared.
-// On failure Commit returns ErrInDoubt and may be called again — finished
-// participants are skipped, so a retry resumes where the fault hit.
+// Commit runs phase two. For a logged transaction the commit record is
+// first made durable on the coordinator's log — the commit point: before
+// it, a crash aborts the transaction everywhere; at or after it, recovery
+// rolls every participant forward. Then, in participant order, the
+// prepared record is applied (ExecuteAll) and the lock released; finally
+// the commit record is truncated. All participants must be prepared.
+// On failure past the commit point Commit returns ErrInDoubt and may be
+// called again — finished participants are skipped, so a retry resumes
+// where the fault hit (and re-truncates the record). A commit-record
+// append failure returns ErrAborted instead: nothing has executed yet,
+// so the prepared participants are rolled back as a failed Prepare would.
 func (t *DistTxn) Commit(f *sim.Fiber) error {
+	for i := range t.parts {
+		if t.state[i] != stPrepared && t.state[i] != stDone {
+			return fmt.Errorf("%w: participant %d not prepared", ErrBadArgument, i)
+		}
+	}
+	if t.clog != nil && !t.logged {
+		token := t.parts[0].Store.cfg.LockToken
+		id, err := t.clog.Append(f, token, t.ids)
+		if err != nil {
+			// The commit point was never durably recorded and no
+			// participant has executed: abort is still sound.
+			return t.failPrepare(f, fmt.Errorf("commit record: %w", err))
+		}
+		t.txnID = id
+		t.logged = true
+		if err := t.step(StepLogCommit, -1); err != nil {
+			return err
+		}
+	}
 	for i := range t.parts {
 		if t.state[i] == stDone {
 			continue
 		}
-		if t.state[i] != stPrepared {
-			return fmt.Errorf("%w: participant %d not prepared", ErrBadArgument, i)
-		}
 		if _, err := t.parts[i].Store.ExecuteAll(f); err != nil {
 			return fmt.Errorf("%w: participant %d execute: %w", ErrInDoubt, i, err)
+		}
+		if err := t.step(StepExecute, i); err != nil {
+			return err
 		}
 		if err := t.parts[i].Store.WrUnlock(f); err != nil {
 			return fmt.Errorf("%w: participant %d unlock: %w", ErrInDoubt, i, err)
 		}
 		t.state[i] = stDone
+		if err := t.step(StepUnlock, i); err != nil {
+			return err
+		}
+	}
+	if t.clog != nil && t.logged {
+		if err := t.clog.Truncate(f, t.txnID); err != nil {
+			// The transaction IS committed everywhere; only the record
+			// cleanup failed. A retried Commit skips every participant and
+			// re-truncates; a leftover record is harmless to recovery
+			// (every named shard is already unlocked).
+			return fmt.Errorf("%w: commit-record truncate: %w", ErrInDoubt, err)
+		}
+		if err := t.step(StepLogTruncate, -1); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -182,14 +321,20 @@ func (t *DistTxn) Prepared() int {
 }
 
 // RecoverAbort resolves an orphaned prepared transaction on one store
-// after its coordinator crashed between prepare and commit: if the group
-// write lock currently holds token, the durable tail is rolled back to the
-// head — discarding every prepared-but-unexecuted record — and the lock is
-// released. It reports whether a rollback happened.
+// after its coordinator crashed: if the group write lock currently holds
+// token, the durable tail is rolled back to the head — discarding every
+// prepared-but-unexecuted record — and the lock is released. It reports
+// whether a rollback happened.
 //
-// Presumed abort is sound here because there is no commit record: a
-// coordinator that reached Commit has already executed and unlocked the
-// participants it finished, and those no longer hold token. The rollback
+// RecoverAbort is only sound for transactions with NO durable commit
+// record. The commit record is appended after every participant prepared
+// and before any executes, so a token-locked store with no record belongs
+// to a transaction that never reached its commit point — aborting it
+// cannot discard committed work. A coordinator that crashed past the
+// commit point leaves a record behind, and recovery (Router.Recover)
+// must resolve those stores with RecoverCommit instead: rolling them back
+// here would erase half of a committed transaction — exactly the
+// partial-commit hazard the commit log exists to close. The rollback
 // targets stores whose log is drained at prepare time (every committed
 // record executed), which the shard router guarantees; pending committed
 // records would be discarded along with the prepared one.
@@ -216,4 +361,39 @@ func RecoverAbort(f *sim.Fiber, s *Store, token uint64) (bool, error) {
 		return false, err
 	}
 	return true, nil
+}
+
+// RecoverCommit rolls an orphaned prepared participant *forward* after
+// its coordinator crashed past the commit point: if the group write lock
+// currently holds token, every pending record is executed into the data
+// region (ExecuteAll) and the lock released. It returns the number of
+// records applied and whether a roll-forward happened.
+//
+// Callers must only invoke this for stores named by a durable commit
+// record (see CommitLog): the record is written after every participant
+// prepared and before any executes, so a token-locked store named by one
+// holds exactly the logged transaction's prepared record — executing it
+// completes the commit the coordinator started. A named store that is no
+// longer token-locked was already executed and unlocked before the crash;
+// it is skipped (false, nil).
+func RecoverCommit(f *sim.Fiber, s *Store, token uint64) (int, bool, error) {
+	b, err := s.r.ReadLocal(ctrlWrLock, 8)
+	if err != nil {
+		return 0, false, err
+	}
+	if leUint64(b) != token {
+		return 0, false, nil
+	}
+	n, err := s.ExecuteAll(f)
+	if err != nil {
+		return n, false, err
+	}
+	hold := s.cfg.LockToken
+	s.cfg.LockToken = token
+	err = s.WrUnlock(f)
+	s.cfg.LockToken = hold
+	if err != nil {
+		return n, false, err
+	}
+	return n, true, nil
 }

@@ -272,3 +272,377 @@ func TestTwoPCCommitWithoutPrepare(t *testing.T) {
 		}
 	})
 }
+
+// loggedRig builds nParts participant stores plus one extra store serving
+// as the coordinator's commit log.
+func loggedRig(t *testing.T, nParts int) (*twoPCRig, *CommitLog) {
+	t.Helper()
+	rig := newTwoPCRig(t, nParts+1, nil, 0)
+	cl, err := NewCommitLog(rig.stores[nParts], nParts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rig, cl
+}
+
+func TestBeginDistLogged(t *testing.T) {
+	rig, cl := loggedRig(t, 2)
+	ps := parts(rig.stores[:2], "x")
+	if _, err := BeginDistLogged(ps, cl, []int{0}); !errors.Is(err, ErrBadArgument) {
+		t.Errorf("mismatched shard IDs: %v, want ErrBadArgument", err)
+	}
+	tx, err := BeginDistLogged(ps, nil, nil)
+	if err != nil || tx.clog != nil {
+		t.Errorf("nil log must degrade to BeginDist (tx=%+v, err=%v)", tx, err)
+	}
+}
+
+func TestTwoPCLoggedCommit(t *testing.T) {
+	rig, cl := loggedRig(t, 2)
+	rig.run(t, func(f *sim.Fiber) {
+		tx, err := BeginDistLogged(parts(rig.stores[:2], "logged"), cl, []int{0, 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Prepare(f); err != nil {
+			t.Fatalf("prepare: %v", err)
+		}
+		if tx.TxnID() != 0 {
+			t.Errorf("txnID before commit = %d, want 0", tx.TxnID())
+		}
+		if err := tx.Commit(f); err != nil {
+			t.Fatalf("commit: %v", err)
+		}
+		if tx.TxnID() == 0 {
+			t.Error("committed logged txn has no txnID")
+		}
+		for i, st := range rig.stores[:2] {
+			want := []byte(fmt.Sprintf("logged-%d", i))
+			got, err := st.ReadData(64*i, len(want))
+			if err != nil || !bytes.Equal(got, want) {
+				t.Errorf("store %d: data = %q (%v), want %q", i, got, err, want)
+			}
+		}
+		// The record was truncated on the way out.
+		recs, err := cl.Records()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs) != 0 {
+			t.Errorf("commit log holds %d records after clean commit, want 0", len(recs))
+		}
+		mustUnlocked(t, rig.stores[:2])
+	})
+}
+
+// TestTwoPCCrashMidCommitRollsForward is the partial-commit bug in
+// miniature: the coordinator crashes after executing+unlocking participant
+// 0 but before touching participant 1. The commit record is durable, so
+// recovery must roll participant 1 *forward* — RecoverAbort here would
+// erase half the transaction.
+func TestTwoPCCrashMidCommitRollsForward(t *testing.T) {
+	rig, cl := loggedRig(t, 2)
+	rig.run(t, func(f *sim.Fiber) {
+		tx, err := BeginDistLogged(parts(rig.stores[:2], "crash"), cl, []int{0, 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tx.SetStepHook(func(s Step, participant int) error {
+			if s == StepUnlock && participant == 0 {
+				return ErrCoordinatorCrash
+			}
+			return nil
+		})
+		if err := tx.Prepare(f); err != nil {
+			t.Fatalf("prepare: %v", err)
+		}
+		if err := tx.Commit(f); !errors.Is(err, ErrCoordinatorCrash) {
+			t.Fatalf("commit = %v, want injected crash", err)
+		}
+		// Participant 0 committed and unlocked; participant 1 orphaned.
+		if locked, _ := rig.stores[0].Locked(); locked {
+			t.Error("participant 0 still locked")
+		}
+		if locked, _ := rig.stores[1].Locked(); !locked {
+			t.Error("participant 1 lost its lock in the crash")
+		}
+		recs, err := cl.Records()
+		if err != nil || len(recs) != 1 {
+			t.Fatalf("records = %v (%v), want the commit record", recs, err)
+		}
+		// Recovery: both stores are named by the record; 0 is already done.
+		if n, ok, err := RecoverCommit(f, rig.stores[0], 42); n != 0 || ok || err != nil {
+			t.Errorf("recover participant 0 = (%d, %v, %v), want no-op", n, ok, err)
+		}
+		n, ok, err := RecoverCommit(f, rig.stores[1], 42)
+		if err != nil || !ok || n != 1 {
+			t.Fatalf("recover participant 1 = (%d, %v, %v), want 1 record applied", n, ok, err)
+		}
+		for i, st := range rig.stores[:2] {
+			want := []byte(fmt.Sprintf("crash-%d", i))
+			got, err := st.ReadData(64*i, len(want))
+			if err != nil || !bytes.Equal(got, want) {
+				t.Errorf("store %d: data = %q (%v), want %q", i, got, err, want)
+			}
+		}
+		mustUnlocked(t, rig.stores[:2])
+	})
+}
+
+// TestTwoPCCrashBeforeCommitPointRollsBack crashes the coordinator after
+// the last prepare but before the commit record lands: no record, so
+// presumed abort resolves both participants back to empty.
+func TestTwoPCCrashBeforeCommitPointRollsBack(t *testing.T) {
+	rig, cl := loggedRig(t, 2)
+	rig.run(t, func(f *sim.Fiber) {
+		tx, err := BeginDistLogged(parts(rig.stores[:2], "gone"), cl, []int{0, 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tx.SetStepHook(func(s Step, participant int) error {
+			if s == StepAppend && participant == 1 {
+				return ErrCoordinatorCrash
+			}
+			return nil
+		})
+		if err := tx.Prepare(f); !errors.Is(err, ErrCoordinatorCrash) {
+			t.Fatalf("prepare = %v, want injected crash", err)
+		}
+		if recs, err := cl.Records(); err != nil || len(recs) != 0 {
+			t.Fatalf("records = %v (%v), want none before the commit point", recs, err)
+		}
+		for i, st := range rig.stores[:2] {
+			rolled, err := RecoverAbort(f, st, 42)
+			if err != nil || !rolled {
+				t.Errorf("store %d: recover abort = (%v, %v)", i, rolled, err)
+			}
+			if got, err := st.ReadData(64*i, 4); err != nil || !bytes.Equal(got, make([]byte, 4)) {
+				t.Errorf("store %d: aborted data visible: %q (%v)", i, got, err)
+			}
+		}
+		mustUnlocked(t, rig.stores[:2])
+	})
+}
+
+func TestRecoverCommitSkipsForeignLock(t *testing.T) {
+	rig := newTwoPCRig(t, 1, nil, 0)
+	rig.run(t, func(f *sim.Fiber) {
+		// Unlocked store: nothing to do.
+		if n, ok, err := RecoverCommit(f, rig.stores[0], 42); n != 0 || ok || err != nil {
+			t.Errorf("unlocked store = (%d, %v, %v), want no-op", n, ok, err)
+		}
+		// Locked under a different token: not ours, skip.
+		if err := rig.stores[0].WrLock(f); err != nil {
+			t.Fatal(err)
+		}
+		if n, ok, err := RecoverCommit(f, rig.stores[0], 999); n != 0 || ok || err != nil {
+			t.Errorf("foreign token = (%d, %v, %v), want no-op", n, ok, err)
+		}
+		if err := rig.stores[0].WrUnlock(f); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestStepString(t *testing.T) {
+	want := map[Step]string{
+		StepLock: "lock", StepAppend: "append", StepLogCommit: "log-commit",
+		StepExecute: "execute", StepUnlock: "unlock", StepLogTruncate: "log-truncate",
+		Step(99): "step(99)",
+	}
+	for s, w := range want {
+		if got := s.String(); got != w {
+			t.Errorf("Step(%d).String() = %q, want %q", int(s), got, w)
+		}
+	}
+}
+
+// TestTwoPCCommitRecordFullAborts exhausts the commit log before the
+// transaction reaches its commit point: the record append fails, nothing
+// has executed, and Commit must abort cleanly instead of going in doubt.
+func TestTwoPCCommitRecordFullAborts(t *testing.T) {
+	rig, cl := loggedRig(t, 2)
+	rig.run(t, func(f *sim.Fiber) {
+		for i := 0; i < cl.Slots(); i++ {
+			if _, err := cl.Append(f, 7, []int{0}); err != nil {
+				t.Fatalf("fill %d: %v", i, err)
+			}
+		}
+		tx, err := BeginDistLogged(parts(rig.stores[:2], "full"), cl, []int{0, 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Prepare(f); err != nil {
+			t.Fatalf("prepare: %v", err)
+		}
+		err = tx.Commit(f)
+		if !errors.Is(err, ErrAborted) || !errors.Is(err, ErrCommitLogFull) {
+			t.Fatalf("commit = %v, want ErrAborted wrapping ErrCommitLogFull", err)
+		}
+		for i, st := range rig.stores[:2] {
+			if used, e := st.LogUsed(); e != nil || used != 0 {
+				t.Errorf("store %d: log used = %d (%v), want 0", i, used, e)
+			}
+			if got, e := st.ReadData(64*i, 4); e != nil || !bytes.Equal(got, make([]byte, 4)) {
+				t.Errorf("store %d: aborted data visible: %q (%v)", i, got, e)
+			}
+		}
+		mustUnlocked(t, rig.stores[:2])
+	})
+}
+
+// TestStoreVisitPendingAndTruncate rounds out the checkpoint-side store
+// surface: pending records are visitable without executing, TruncateAll
+// drops them, and MirrorSize reports the configured footprint.
+func TestStoreVisitPendingAndTruncate(t *testing.T) {
+	rig := newTwoPCRig(t, 1, nil, 0)
+	st := rig.stores[0]
+	if got := st.MirrorSize(); got != MirrorSizeFor(testLog, testData) {
+		t.Errorf("mirror size = %d, want %d", got, MirrorSizeFor(testLog, testData))
+	}
+	rig.run(t, func(f *sim.Fiber) {
+		if err := st.WrLock(f); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := st.Append(f, []wal.Entry{{Off: 0, Data: []byte("pending")}}); err != nil {
+			t.Fatal(err)
+		}
+		var seen int
+		err := st.VisitPending(func(seq uint64, entries []wal.Entry) error {
+			seen++
+			if len(entries) != 1 || !bytes.Equal(entries[0].Data, []byte("pending")) {
+				t.Errorf("visited entries = %+v", entries)
+			}
+			return nil
+		})
+		if err != nil || seen != 1 {
+			t.Fatalf("visit = %v, saw %d records, want 1", err, seen)
+		}
+		if err := st.TruncateAll(f); err != nil {
+			t.Fatal(err)
+		}
+		if used, err := st.LogUsed(); err != nil || used != 0 {
+			t.Errorf("log used after truncate = %d (%v), want 0", used, err)
+		}
+		// The truncated record must not apply.
+		if got, err := st.ReadData(0, 7); err != nil || !bytes.Equal(got, make([]byte, 7)) {
+			t.Errorf("truncated data visible: %q (%v)", got, err)
+		}
+		if err := st.WrUnlock(f); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestTwoPCCrashSweep kills the coordinator after every protocol step of a
+// 2-participant logged transaction and recovers by the commit-record rule:
+// shards named by a record roll forward, the rest roll back. Every kill
+// point must leave an all-or-nothing outcome and no leaked locks.
+func TestTwoPCCrashSweep(t *testing.T) {
+	const span = 2
+	// Steps: (lock, append) per participant, log-commit, (execute, unlock)
+	// per participant, log-truncate.
+	totalSteps := 4*span + 2
+	commitPoint := 2*span + 1 // steps before the record is durable
+	for kill := 1; kill <= totalSteps; kill++ {
+		rig, cl := loggedRig(t, span)
+		rig.run(t, func(f *sim.Fiber) {
+			tx, err := BeginDistLogged(parts(rig.stores[:span], "sweep"), cl, []int{0, 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			step := 0
+			tx.SetStepHook(func(s Step, participant int) error {
+				step++
+				if step == kill {
+					return ErrCoordinatorCrash
+				}
+				return nil
+			})
+			err = tx.Prepare(f)
+			if err == nil {
+				err = tx.Commit(f)
+			}
+			if kill == totalSteps {
+				// The "crash" fired after the final step: the transaction
+				// is complete and the error is immaterial to durability.
+				if !errors.Is(err, ErrCoordinatorCrash) {
+					t.Fatalf("kill %d: err = %v", kill, err)
+				}
+			} else if !errors.Is(err, ErrCoordinatorCrash) {
+				t.Fatalf("kill %d: err = %v, want injected crash", kill, err)
+			}
+
+			// Recover exactly as Router.Recover does.
+			recs, err := cl.Records()
+			if err != nil {
+				t.Fatal(err)
+			}
+			committed := map[int]bool{}
+			for _, rec := range recs {
+				if rec.Token != 42 {
+					continue
+				}
+				for _, sid := range rec.Shards {
+					committed[sid] = true
+				}
+			}
+			if wantRec := kill >= commitPoint && kill < totalSteps; (len(recs) > 0) != wantRec {
+				t.Errorf("kill %d: %d live records, want record=%v", kill, len(recs), wantRec)
+			}
+			for i := 0; i < span; i++ {
+				if committed[i] {
+					if _, _, err := RecoverCommit(f, rig.stores[i], 42); err != nil {
+						t.Fatalf("kill %d: recover commit %d: %v", kill, i, err)
+					}
+				} else if _, err := RecoverAbort(f, rig.stores[i], 42); err != nil {
+					t.Fatalf("kill %d: recover abort %d: %v", kill, i, err)
+				}
+			}
+			for _, rec := range recs {
+				if err := cl.Truncate(f, rec.TxnID); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			// All-or-nothing: every participant shows the write, or none.
+			wantCommitted := kill >= commitPoint
+			for i := 0; i < span; i++ {
+				want := make([]byte, 7)
+				if wantCommitted {
+					want = []byte(fmt.Sprintf("sweep-%d", i))
+				}
+				got, err := rig.stores[i].ReadData(64*i, len(want))
+				if err != nil || !bytes.Equal(got, want) {
+					t.Errorf("kill %d: store %d data = %q (%v), want %q", kill, i, got, err, want)
+				}
+				if used, err := rig.stores[i].LogUsed(); err != nil || used != 0 {
+					t.Errorf("kill %d: store %d log used = %d (%v)", kill, i, used, err)
+				}
+			}
+			mustUnlocked(t, rig.stores[:span])
+			if recs, err := cl.Records(); err != nil || len(recs) != 0 {
+				t.Errorf("kill %d: commit log not drained: %v (%v)", kill, recs, err)
+			}
+		})
+	}
+}
+
+func TestStoreDataRangeChecks(t *testing.T) {
+	rig := newTwoPCRig(t, 1, nil, 0)
+	st := rig.stores[0]
+	if _, err := st.ReadData(-1, 8); !errors.Is(err, ErrBadArgument) {
+		t.Errorf("negative read offset: %v", err)
+	}
+	if _, err := st.ReadData(testData, 8); !errors.Is(err, ErrBadArgument) {
+		t.Errorf("read past data region: %v", err)
+	}
+	rig.run(t, func(f *sim.Fiber) {
+		if err := st.WriteData(f, -1, []byte("x")); !errors.Is(err, ErrBadArgument) {
+			t.Errorf("negative write offset: %v", err)
+		}
+		if err := st.WriteData(f, testData, []byte("x")); !errors.Is(err, ErrBadArgument) {
+			t.Errorf("write past data region: %v", err)
+		}
+	})
+}

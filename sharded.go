@@ -9,6 +9,7 @@ import (
 	"hyperloop/internal/rdma"
 	"hyperloop/internal/shard"
 	"hyperloop/internal/sim"
+	"hyperloop/internal/txn"
 )
 
 // Re-exported sharding types so downstream code needs only this package.
@@ -21,6 +22,8 @@ type (
 	ShardWrite = shard.Write
 	// ShardStats counts router-level outcomes.
 	ShardStats = shard.Stats
+	// ShardRecoverStats reports what one Router.Recover pass resolved.
+	ShardRecoverStats = shard.RecoverStats
 	// ShardPolicy maps keys to shards (hash or range).
 	ShardPolicy = shard.Policy
 	// ShardPlacement maps shard replicas to rack servers.
@@ -28,14 +31,28 @@ type (
 	// ShardRoutingConfig sizes a router's key→shard mapping and per-shard
 	// stores.
 	ShardRoutingConfig = shard.Config
+	// TxnStep identifies one coordinator-side 2PC action; step hooks
+	// (ShardRouter.SetTxnStepHook) receive it for crash injection.
+	TxnStep = txn.Step
 )
 
-// Shard routing and placement policies.
+// ErrTxnCoordinatorCrash is the sentinel a step hook returns to kill the
+// coordinator mid-protocol; see txn.ErrCoordinatorCrash.
+var ErrTxnCoordinatorCrash = txn.ErrCoordinatorCrash
+
+// Shard routing and placement policies, and 2PC coordinator steps.
 const (
 	ShardHash           = shard.Hash
 	ShardRange          = shard.Range
 	PlaceRoundRobin     = shard.RoundRobin
 	PlaceTenantAffinity = shard.TenantAffinity
+
+	TxnStepLock        = txn.StepLock
+	TxnStepAppend      = txn.StepAppend
+	TxnStepLogCommit   = txn.StepLogCommit
+	TxnStepExecute     = txn.StepExecute
+	TxnStepUnlock      = txn.StepUnlock
+	TxnStepLogTruncate = txn.StepLogTruncate
 )
 
 // ShardedClusterConfig sizes a sharded deployment: Shards independent
@@ -65,8 +82,20 @@ type ShardedClusterConfig struct {
 	// PlaceTenantAffinity.
 	TenantOf func(shard int) int
 	// Routing configures the router's key→shard mapping and per-shard
-	// store sizes; Routing.Shards is overwritten with Shards.
+	// store sizes; Routing.Shards is overwritten with Shards, and
+	// Routing.CoordLog with the coordinator group's store when CommitLog
+	// is set.
 	Routing shard.Config
+	// CommitLog, when true, provisions a dedicated replication group for
+	// the coordinator's 2PC commit log: Txn durably records the commit
+	// point before phase two and Router.Recover rolls record-bearing
+	// transactions forward instead of aborting them. Off by default —
+	// enabling it adds group traffic on the commit path, changing event
+	// timing relative to a presumed-abort-only cluster.
+	CommitLog bool
+	// CommitLogSlots bounds concurrently in-flight commit records
+	// (default 16). Only consulted when CommitLog is set.
+	CommitLogSlots int
 	// DeviceExtra is per-NIC device headroom past the mirror for rings and
 	// staging buffers (default 1 MiB).
 	DeviceExtra int
@@ -78,6 +107,7 @@ type ShardedCluster struct {
 	fabric *rdma.Fabric
 	scheds []*cpusim.Scheduler
 	router *shard.Router
+	coord  shard.Backend // coordinator commit-log group, nil unless CommitLog
 }
 
 // NewShardedCluster builds the deployment: a rack of servers, one
@@ -126,6 +156,48 @@ func NewShardedCluster(cfg ShardedClusterConfig) (*ShardedCluster, error) {
 		return nil, fmt.Errorf("hyperloop: invalid shard routing config")
 	}
 	devSize := mirror + cfg.DeviceExtra
+	if cfg.CommitLog {
+		if cfg.CommitLogSlots <= 0 {
+			cfg.CommitLogSlots = 16
+		}
+		// The coordinator's commit log lives on its own replication group
+		// — never a shard's — so the commit point survives the coordinator
+		// with the same fault tolerance as the data it governs.
+		clLog := 256
+		clData := txn.CommitLogSizeFor(cfg.CommitLogSlots, cfg.Shards)
+		clDev := txn.MirrorSizeFor(clLog, clData) + cfg.DeviceExtra
+		name := "cli/coord"
+		client, err := fab.AddNIC(name, nvm.NewDevice(name, clDev))
+		if err != nil {
+			return nil, err
+		}
+		env := protocol.Env{Fabric: fab, Client: client}
+		for j := 0; j < cfg.ReplicasPerShard; j++ {
+			srv := j % cfg.Servers
+			host := fmt.Sprintf("srv%d/coord.%d", srv, j)
+			nic, err := fab.AddNIC(host, nvm.NewDevice(host, clDev))
+			if err != nil {
+				return nil, err
+			}
+			env.Replicas = append(env.Replicas, nic)
+			env.Scheds = append(env.Scheds, c.scheds[srv])
+		}
+		backend, err := protocol.Build(cfg.Protocol, env, protocol.Params{MirrorSize: txn.MirrorSizeFor(clLog, clData)})
+		if err != nil {
+			return nil, err
+		}
+		c.coord = backend
+		store, err := txn.New(backend, txn.Config{
+			LogSize:   clLog,
+			DataSize:  clData,
+			LockToken: cfg.Routing.LockToken,
+		})
+		if err != nil {
+			backend.Close()
+			return nil, err
+		}
+		cfg.Routing.CoordLog = store
+	}
 	c.router, err = shard.New(cfg.Routing, func(id int) (shard.Backend, error) {
 		name := fmt.Sprintf("cli/sh%d", id)
 		client, err := fab.AddNIC(name, nvm.NewDevice(name, devSize))
@@ -193,5 +265,11 @@ func (c *ShardedCluster) Run(fn func(f *Fiber) error) error {
 	return nil
 }
 
-// Close tears down every shard's replication group.
-func (c *ShardedCluster) Close() { c.router.Close() }
+// Close tears down every shard's replication group, plus the
+// coordinator commit-log group when one was provisioned.
+func (c *ShardedCluster) Close() {
+	c.router.Close()
+	if c.coord != nil {
+		c.coord.Close()
+	}
+}

@@ -101,3 +101,60 @@ func TestShardedClusterBadConfig(t *testing.T) {
 		t.Fatal("affinity without TenantOf accepted")
 	}
 }
+
+func TestShardedClusterCommitLog(t *testing.T) {
+	c, err := NewShardedCluster(ShardedClusterConfig{
+		Seed:             3,
+		Shards:           4,
+		ReplicasPerShard: 2,
+		Servers:          2,
+		CommitLog:        true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	r := c.Router()
+	if r.CommitLog() == nil {
+		t.Fatal("CommitLog option produced no coordinator log")
+	}
+	err = c.Run(func(f *Fiber) error {
+		writes := []ShardWrite{
+			{Key: 10, Data: []byte("x")},
+			{Key: 11, Data: []byte("y")},
+		}
+		// Crash the coordinator right after the commit point, then
+		// recover through the facade: the transaction must roll forward.
+		step := 0
+		r.SetTxnStepHook(func(s TxnStep, participant int) error {
+			step++
+			if s == TxnStepLogCommit {
+				return ErrTxnCoordinatorCrash
+			}
+			return nil
+		})
+		if err := r.Txn(f, writes); err != ErrTxnCoordinatorCrash {
+			return err
+		}
+		r.SetTxnStepHook(nil)
+		rs, err := r.Recover(f)
+		if err != nil {
+			return err
+		}
+		if rs.Back != 0 || rs.Forward == 0 || rs.Records != 1 {
+			t.Errorf("recover stats = %+v, want roll-forward of one record", rs)
+		}
+		// Retried transaction commits and the data is readable.
+		return r.Txn(f, writes)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := r.Get(10); !bytes.Equal(got, []byte("x")) {
+		t.Fatalf("get(10) = %q", got)
+	}
+	st := r.Stats()
+	if st.Commits != 1 || st.Aborts != 0 || st.InDoubt != 0 {
+		t.Fatalf("stats = %+v, want exactly one commit", st)
+	}
+}
